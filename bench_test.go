@@ -1,0 +1,267 @@
+package ppstream
+
+// One benchmark per paper table/figure (plus micro-benchmarks of the
+// primitives they depend on). The experiment benchmarks execute the same
+// code paths as cmd/ppbench in quick mode; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"crypto/rand"
+	mathrand "math/rand"
+	"sync"
+	"testing"
+
+	"ppstream/internal/baselines"
+	"ppstream/internal/experiments"
+	"ppstream/internal/leakage"
+	"ppstream/internal/nn"
+	"ppstream/internal/obfuscate"
+	"ppstream/internal/paillier"
+	"ppstream/internal/tensor"
+)
+
+var benchCfg = experiments.Config{KeyBits: 256, Requests: 4, ProfileReps: 1, Trials: 2, Quick: true}
+
+var (
+	benchKeyOnce sync.Once
+	benchKey     *paillier.PrivateKey
+)
+
+func benchPaillierKey(b *testing.B) *paillier.PrivateKey {
+	benchKeyOnce.Do(func() {
+		k, err := paillier.GenerateKey(rand.Reader, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchKey = k
+	})
+	return benchKey
+}
+
+// --- Figure 1: Paillier primitive latencies -------------------------------
+
+func BenchmarkFig1PaillierEncrypt(b *testing.B) {
+	k := benchPaillierKey(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := k.PublicKey.EncryptInt64(rand.Reader, int64(i%256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1PaillierDecrypt(b *testing.B) {
+	k := benchPaillierKey(b)
+	ct, err := k.PublicKey.EncryptInt64(rand.Reader, 123)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1PaillierScalarMul(b *testing.B) {
+	k := benchPaillierKey(b)
+	ct, err := k.PublicKey.EncryptInt64(rand.Reader, 123)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.PublicKey.MulScalarInt64(ct, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1PaillierAdd(b *testing.B) {
+	k := benchPaillierKey(b)
+	c1, _ := k.PublicKey.EncryptInt64(rand.Reader, 7)
+	c2, _ := k.PublicKey.EncryptInt64(rand.Reader, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.PublicKey.Add(c1, c2)
+	}
+}
+
+// BenchmarkFig1Sweep regenerates the whole figure (key-size sweep).
+func BenchmarkFig1Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1([]int{256, 512}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#1: Tables IV/V and Figure 6 ---------------------------------------
+
+func BenchmarkTable4And5AccuracySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Tables4And5(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ScalingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#2: Figure 8 --------------------------------------------------------
+
+func BenchmarkFig8Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#3: Figure 7 --------------------------------------------------------
+
+func BenchmarkFig7LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#4: Figure 9 --------------------------------------------------------
+
+func BenchmarkFig9Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#5: Table VI --------------------------------------------------------
+
+func BenchmarkTable6Leakage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6DistanceCorrelation micro-benches the metric itself at
+// the paper's largest tensor length.
+func BenchmarkTable6DistanceCorrelation(b *testing.B) {
+	rng := mathrand.New(mathrand.NewSource(1))
+	n := 1 << 10
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := leakage.DistanceCorrelation(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Exp#6: Table VII -------------------------------------------------------
+
+func BenchmarkTable7Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7EzPCReLU micro-benches the EzPC baseline's dominant
+// cost: one garbled-circuit ReLU conversion layer.
+func BenchmarkTable7EzPCReLU(b *testing.B) {
+	r := mathrand.New(mathrand.NewSource(2))
+	net, err := nn.NewNetwork("bench-ezpc", tensor.Shape{8},
+		nn.NewFC("fc", 8, 8, r),
+		nn.NewReLU("relu"),
+		nn.NewFC("fc2", 8, 2, r),
+		nn.NewSoftMax("sm"),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Zeros(8)
+	for i := range x.Data() {
+		x.Data()[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := baselines.NewEzPC(net, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := e.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Protocol micro-benchmarks ----------------------------------------------
+
+func BenchmarkProtocolInferSmallFC(b *testing.B) {
+	k := benchPaillierKey(b)
+	r := mathrand.New(mathrand.NewSource(3))
+	net, err := nn.NewNetwork("bench-proto", tensor.Shape{8},
+		nn.NewFC("fc1", 8, 8, r),
+		nn.NewReLU("relu"),
+		nn.NewFC("fc2", 8, 4, r),
+		nn.NewSoftMax("sm"),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := BuildProtocol(net, k, 1000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Zeros(8)
+	for i := range x.Data() {
+		x.Data()[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Infer(uint64(i), x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObfuscatePermutation(b *testing.B) {
+	vals := make([]float64, 1<<13)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := obfuscate.NewSeeded(len(vals), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		perm, err := obfuscate.Apply(p, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := obfuscate.Invert(p, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

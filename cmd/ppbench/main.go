@@ -1,0 +1,144 @@
+// Command ppbench regenerates the paper's evaluation tables and figures
+// (Section VI). Each subcommand prints the same rows/series the paper
+// reports; `ppbench all` runs the full suite.
+//
+// Usage:
+//
+//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|all>
+//
+// Flags:
+//
+//	-keybits N     Paillier key size for latency experiments (default 512)
+//	-requests N    streaming batch size (default 8)
+//	-reps N        offline profiling repetitions (default 2)
+//	-trials N      statistical trial count (default 3)
+//	-quick         smallest model subsets (CI mode)
+//	-real          wall-clock measurement instead of the calibrated
+//	               latency model (use on multi-core hosts)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppstream/internal/experiments"
+)
+
+func main() {
+	keyBits := flag.Int("keybits", 512, "Paillier key size in bits (paper: 2048)")
+	requests := flag.Int("requests", 8, "streaming batch size for effective-latency runs")
+	reps := flag.Int("reps", 2, "offline profiling repetitions (paper: 100)")
+	trials := flag.Int("trials", 3, "trials for statistical measurements")
+	quick := flag.Bool("quick", false, "restrict to the smallest model subsets")
+	real := flag.Bool("real", false, "wall-clock latency (multi-core hosts) instead of the calibrated model")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ppbench [flags] <experiment>\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "  fig1     Paillier benchmark vs key size\n")
+		fmt.Fprintf(os.Stderr, "  table3   dataset/model inventory\n")
+		fmt.Fprintf(os.Stderr, "  table4   accuracy vs scaling factor (training set)\n")
+		fmt.Fprintf(os.Stderr, "  table5   accuracy vs scaling factor (testing set)\n")
+		fmt.Fprintf(os.Stderr, "  fig6     latency vs scaling factor\n")
+		fmt.Fprintf(os.Stderr, "  fig7     load-balanced allocation on/off\n")
+		fmt.Fprintf(os.Stderr, "  fig8     PlainBase/CipherBase/PP-Stream\n")
+		fmt.Fprintf(os.Stderr, "  fig9     tensor partitioning on/off\n")
+		fmt.Fprintf(os.Stderr, "  table6   obfuscation leakage (distance correlation)\n")
+		fmt.Fprintf(os.Stderr, "  table7   comparison with state-of-the-art systems\n")
+		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		KeyBits:     *keyBits,
+		Requests:    *requests,
+		ProfileReps: *reps,
+		Trials:      *trials,
+		Quick:       *quick,
+		RealTime:    *real,
+	}
+	name := flag.Arg(0)
+	if err := run(name, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ppbench %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, cfg experiments.Config) error {
+	start := time.Now()
+	defer func() { fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond)) }()
+	switch name {
+	case "fig1":
+		bits := []int{256, 512, 1024, 2048}
+		if cfg.Quick {
+			bits = []int{256, 512}
+		}
+		res, err := experiments.Fig1(bits, cfg.Trials)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "table3":
+		fmt.Print(experiments.Table3Render())
+	case "table4", "table5":
+		train, test, err := experiments.Tables4And5(cfg)
+		if err != nil {
+			return err
+		}
+		if name == "table4" {
+			fmt.Print(train.Render())
+		} else {
+			fmt.Print(test.Render())
+		}
+	case "fig6":
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig7":
+		res, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig8":
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "fig9":
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "table6":
+		res, err := experiments.Table6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "table7":
+		res, err := experiments.Table7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "all":
+		for _, sub := range []string{"fig1", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7"} {
+			if err := run(sub, cfg); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (run with no arguments for usage)", name)
+	}
+	return nil
+}

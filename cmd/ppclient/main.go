@@ -1,0 +1,96 @@
+// Command ppclient is the data provider: it connects to a ppserver,
+// establishes a session with its own fresh Paillier key, and runs
+// privacy-preserving inferences. Only ciphertexts leave this process;
+// the server never sees the inputs or the key.
+//
+// The -model file provides the network ARCHITECTURE the two parties
+// agreed on (layer kinds and shapes); the client never reads linear
+// weights from it.
+//
+// Usage:
+//
+//	ppclient -model models/Heart.gob -addr 127.0.0.1:7100 -factor 10000 -n 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ppstream"
+	"ppstream/internal/models"
+	"ppstream/internal/protocol"
+	"ppstream/internal/stream"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "architecture file (required)")
+	addr := flag.String("addr", "127.0.0.1:7100", "ppserver address")
+	factor := flag.Int64("factor", 10000, "agreed parameter scaling factor")
+	keyBits := flag.Int("keybits", 512, "Paillier key size")
+	workers := flag.Int("workers", 2, "requested per-stage threads")
+	count := flag.Int("n", 3, "number of inferences to run")
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	arch, err := ppstream.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("ppclient: %v", err)
+	}
+	protocol.RegisterServiceWire()
+
+	key, err := ppstream.GenerateKey(*keyBits)
+	if err != nil {
+		log.Fatalf("ppclient: %v", err)
+	}
+	edge, err := stream.DialEdge(*addr)
+	if err != nil {
+		log.Fatalf("ppclient: %v", err)
+	}
+	ctx := context.Background()
+	client, err := protocol.NewClient(ctx, edge, edge, arch, key, *factor, *workers)
+	if err != nil {
+		log.Fatalf("ppclient: %v", err)
+	}
+	defer client.Close()
+
+	// Inputs: synthetic samples from the model's Table III dataset when
+	// available, zeros otherwise.
+	var inputs []*ppstream.Tensor
+	if spec, err := models.ByName(arch.ModelName); err == nil {
+		if ds, err := spec.Dataset(); err == nil {
+			for i := 0; i < *count && i < len(ds.TestX); i++ {
+				inputs = append(inputs, ds.TestX[i])
+			}
+		}
+	}
+	for len(inputs) < *count {
+		inputs = append(inputs, ppstream.NewTensor(arch.InputShape...))
+	}
+
+	for i, x := range inputs {
+		start := time.Now()
+		out, err := client.Infer(ctx, x)
+		if err != nil {
+			log.Fatalf("ppclient: inference %d: %v", i, err)
+		}
+		fmt.Printf("inference %d: class %d (latency %v, distribution head %v)\n",
+			i, ppstream.ArgMax(out), time.Since(start).Round(time.Microsecond), head(out.Data()))
+	}
+}
+
+func head(vals []float64) []float64 {
+	if len(vals) > 5 {
+		vals = vals[:5]
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(int(v*1000)) / 1000
+	}
+	return out
+}

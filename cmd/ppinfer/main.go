@@ -1,0 +1,168 @@
+// Command ppinfer runs one privacy-preserving inference end-to-end: it
+// loads a trained model (from cmd/pptrain), generates a data-provider
+// key, selects the scaling factor, builds the PP-Stream engine, and
+// infers either a synthetic sample or a comma-separated input vector.
+//
+// Usage:
+//
+//	ppinfer -model models/Heart.gob [-keybits 512] [-cores 8] [-input 1.2,0.3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppstream"
+	"ppstream/internal/models"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "path to a trained model (required)")
+	keyBits := flag.Int("keybits", 512, "Paillier key size")
+	cores := flag.Int("cores", 8, "total cores across the deployment")
+	inputCSV := flag.String("input", "", "comma-separated input values (default: a synthetic test sample)")
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*modelPath, *keyBits, *cores, *inputCSV); err != nil {
+		fmt.Fprintf(os.Stderr, "ppinfer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath string, keyBits, cores int, inputCSV string) error {
+	net, err := ppstream.LoadModel(modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s: input %v, %d parameters\n", net.ModelName, net.InputShape, net.ParamCount())
+
+	// Input: parsed vector or a fresh synthetic sample matching the
+	// model's Table III dataset.
+	var x *ppstream.Tensor
+	var xs []*ppstream.Tensor
+	var ys []int
+	if inputCSV != "" {
+		vals, err := parseCSV(inputCSV)
+		if err != nil {
+			return err
+		}
+		x, err = ppstream.TensorFromSlice(vals, net.InputShape...)
+		if err != nil {
+			return err
+		}
+	}
+	if spec, err := models.ByName(net.ModelName); err == nil {
+		ds, err := spec.Dataset()
+		if err != nil {
+			return err
+		}
+		if x == nil {
+			x = ds.TestX[0]
+		}
+		n := 20
+		if n > len(ds.TrainX) {
+			n = len(ds.TrainX)
+		}
+		xs, ys = ds.TrainX[:n], ds.TrainY[:n]
+	}
+	if x == nil {
+		return fmt.Errorf("model %q is not in the Table III registry; provide -input", net.ModelName)
+	}
+
+	key, err := ppstream.GenerateKey(keyBits)
+	if err != nil {
+		return err
+	}
+	factor := int64(10000)
+	if xs != nil {
+		sel, err := ppstream.SelectScalingFactor(net, xs, ys)
+		if err != nil {
+			return err
+		}
+		factor = sel.Factor
+		fmt.Printf("selected scaling factor: 10^%d (accuracy %.2f%% vs original %.2f%%)\n",
+			sel.Exponent, sel.ScaledAccuracy*100, sel.OriginalAccuracy*100)
+	}
+
+	spec, specErr := models.ByName(net.ModelName)
+	topo := ppstream.Topology{ModelServers: 1, DataServers: 1, CoresPerServer: cores / 2}
+	if specErr == nil {
+		n := spec.ModelServers + spec.DataServers
+		per := cores / n
+		if per < 1 {
+			per = 1
+		}
+		topo = ppstream.Topology{ModelServers: spec.ModelServers, DataServers: spec.DataServers, CoresPerServer: per}
+	}
+	eng, err := ppstream.NewEngine(net, key, ppstream.Options{
+		Factor:          factor,
+		Topology:        topo,
+		LoadBalance:     true,
+		TensorPartition: true,
+		ProfileReps:     1,
+		ProfileSample:   x,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	if report, err := eng.Report(); err == nil {
+		fmt.Println("deployment plan:")
+		for _, r := range report {
+			kind := "non-linear"
+			if r.Linear {
+				kind = "linear"
+			}
+			fmt.Printf("  %-40s %-10s %-9s threads=%d T=%.2fms\n",
+				r.Name, kind, r.Server, r.Threads, r.Time*1000)
+		}
+	}
+
+	plain, err := net.Forward(x)
+	if err != nil {
+		return err
+	}
+	out, latency, err := eng.InferOne(1, x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("privacy-preserving inference: class %d (latency %v)\n", ppstream.ArgMax(out), latency)
+	fmt.Printf("plaintext reference:          class %d\n", ppstream.ArgMax(plain))
+	fmt.Printf("output distribution: %v\n", truncated(out.Data()))
+	if sim, err := eng.Simulate(8); err == nil {
+		fmt.Printf("modelled streaming latency at %d cores: %v/request (bottleneck %v)\n",
+			topo.TotalCores(), sim.Effective, sim.Bottleneck)
+	}
+	return nil
+}
+
+func parseCSV(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing input element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func truncated(vals []float64) []float64 {
+	if len(vals) > 10 {
+		vals = vals[:10]
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(int(v*10000)) / 10000
+	}
+	return out
+}

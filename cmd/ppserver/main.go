@@ -1,0 +1,65 @@
+// Command ppserver hosts the model provider as a network service: it
+// loads the vendor's trained model and answers privacy-preserving
+// inference sessions from ppclient. The private key never exists on
+// this side; each session is keyed by the client's public key from its
+// Hello frame.
+//
+// Usage:
+//
+//	ppserver -model models/Heart.gob -listen :7100 -factor 10000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"ppstream"
+	"ppstream/internal/protocol"
+	"ppstream/internal/stream"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "trained model file (required)")
+	listen := flag.String("listen", "127.0.0.1:7100", "listen address")
+	factor := flag.Int64("factor", 10000, "agreed parameter scaling factor")
+	maxWorkers := flag.Int("maxworkers", 8, "per-stage thread cap per session")
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	netModel, err := ppstream.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatalf("ppserver: %v", err)
+	}
+	protocol.RegisterServiceWire()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("ppserver: %v", err)
+	}
+	fmt.Printf("ppserver: model %q (%d parameters), factor %d, listening on %s\n",
+		netModel.ModelName, netModel.ParamCount(), *factor, l.Addr())
+
+	ctx := context.Background()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatalf("ppserver: accept: %v", err)
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			edge := stream.NewTCPEdge(conn)
+			fmt.Printf("ppserver: session from %s\n", conn.RemoteAddr())
+			if err := protocol.ServeSession(ctx, edge, edge, netModel, *factor, *maxWorkers); err != nil {
+				log.Printf("ppserver: session %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			fmt.Printf("ppserver: session %s closed\n", conn.RemoteAddr())
+		}(conn)
+	}
+}

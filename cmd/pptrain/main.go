@@ -1,0 +1,66 @@
+// Command pptrain trains the paper's Table III models on their synthetic
+// datasets and saves them in gob format, so cmd/ppinfer and external
+// deployments can load them without retraining.
+//
+// Usage:
+//
+//	pptrain [-out DIR] [-model NAME]
+//
+// With no -model it trains all nine models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ppstream"
+)
+
+func main() {
+	outDir := flag.String("out", "models", "output directory for trained models")
+	modelName := flag.String("model", "", "train a single Table III model (default: all nine)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "pptrain: %v\n", err)
+		os.Exit(1)
+	}
+	specs := ppstream.Models()
+	if *modelName != "" {
+		spec, err := ppstream.ModelByName(*modelName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pptrain: %v\n", err)
+			os.Exit(1)
+		}
+		specs = []ppstream.ModelSpec{spec}
+	}
+	for _, spec := range specs {
+		start := time.Now()
+		net, ds, err := ppstream.PrepareModel(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pptrain %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		trainAcc, err := net.Accuracy(ds.TrainX, ds.TrainY)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pptrain %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		testAcc, err := net.Accuracy(ds.TestX, ds.TestY)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pptrain %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, spec.Name+".gob")
+		if err := ppstream.SaveModel(net, path); err != nil {
+			fmt.Fprintf(os.Stderr, "pptrain %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %-10s train %.2f%%  test %.2f%%  %d params  -> %s (%v)\n",
+			spec.Name, spec.Arch, trainAcc*100, testAcc*100, net.ParamCount(), path,
+			time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module ppstream
+
+go 1.22

@@ -1,0 +1,120 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteForce enumerates every feasible assignment and thread allocation
+// for tiny instances and returns the optimal objective. It is the oracle
+// for verifying the ILP path.
+func bruteForce(layers []Layer, servers []Server, ymax int) float64 {
+	best := math.Inf(1)
+	assign := make([]int, len(layers))
+	threads := make([]int, len(layers))
+	var recurse func(i int)
+	checkCapacity := func() bool {
+		used := make([]int, len(servers))
+		for i := range layers {
+			used[assign[i]] += threads[i]
+		}
+		for j, u := range used {
+			if u > servers[j].Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	var threadRec func(i int)
+	threadRec = func(i int) {
+		if i == len(layers) {
+			if checkCapacity() {
+				if obj := Imbalance(layers, threads); obj < best {
+					best = obj
+				}
+			}
+			return
+		}
+		for y := 1; y <= ymax; y++ {
+			threads[i] = y
+			threadRec(i + 1)
+		}
+	}
+	recurse = func(i int) {
+		if i == len(layers) {
+			threadRec(0)
+			return
+		}
+		for j, s := range servers {
+			if s.Model != layers[i].Linear {
+				continue
+			}
+			assign[i] = j
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	return best
+}
+
+// TestSolveMatchesBruteForce verifies the ILP finds the true optimum on
+// exhaustively-checkable instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		layers  []Layer
+		servers []Server
+		ymax    int
+	}{
+		{
+			layers: []Layer{
+				{Name: "l1", Linear: true, Time: 4},
+				{Name: "n1", Linear: false, Time: 2},
+			},
+			servers: []Server{
+				{Name: "m", Model: true, Cores: 2},
+				{Name: "d", Model: false, Cores: 2},
+			},
+			ymax: 4,
+		},
+		{
+			layers: []Layer{
+				{Name: "l1", Linear: true, Time: 6},
+				{Name: "n1", Linear: false, Time: 3},
+				{Name: "l2", Linear: true, Time: 2},
+			},
+			servers: []Server{
+				{Name: "m1", Model: true, Cores: 2},
+				{Name: "d1", Model: false, Cores: 2},
+			},
+			ymax: 4,
+		},
+		{
+			layers: []Layer{
+				{Name: "l1", Linear: true, Time: 5},
+				{Name: "n1", Linear: false, Time: 1},
+				{Name: "l2", Linear: true, Time: 3},
+				{Name: "n2", Linear: false, Time: 2},
+			},
+			servers: []Server{
+				{Name: "m1", Model: true, Cores: 2},
+				{Name: "m2", Model: true, Cores: 1},
+				{Name: "d1", Model: false, Cores: 2},
+			},
+			ymax: 4,
+		},
+	}
+	for ci, c := range cases {
+		want := bruteForce(c.layers, c.servers, c.ymax)
+		plan, err := Solve(c.layers, c.servers, Options{MaxThreads: c.ymax, MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if err := CheckPlan(c.layers, c.servers, plan); err != nil {
+			t.Fatalf("case %d: invalid plan: %v", ci, err)
+		}
+		if plan.Objective > want+1e-6 {
+			t.Errorf("case %d: solver objective %.6f, brute force optimum %.6f (threads %v)",
+				ci, plan.Objective, want, plan.Threads)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeterogeneousDetection(t *testing.T) {
+	homo := []Server{{Model: true, Cores: 2}, {Model: false, Cores: 2}}
+	if Heterogeneous(homo) {
+		t.Error("zero-speed servers reported heterogeneous")
+	}
+	homo1 := []Server{{Model: true, Cores: 2, Speed: 1}, {Model: false, Cores: 2, Speed: 1}}
+	if Heterogeneous(homo1) {
+		t.Error("unit-speed servers reported heterogeneous")
+	}
+	het := []Server{{Model: true, Cores: 2, Speed: 2}, {Model: false, Cores: 2}}
+	if !Heterogeneous(het) {
+		t.Error("mixed speeds not detected")
+	}
+}
+
+func TestImbalanceOnScalesBySpeed(t *testing.T) {
+	layers := []Layer{
+		{Name: "l", Linear: true, Time: 4},
+		{Name: "n", Linear: false, Time: 2},
+	}
+	servers := []Server{
+		{Name: "m", Model: true, Cores: 4, Speed: 2}, // twice as fast
+		{Name: "d", Model: false, Cores: 4, Speed: 1},
+	}
+	plan := &Plan{ServerOf: []int{0, 1}, Threads: []int{1, 1}}
+	// effective times: 4/(1·2) = 2 and 2/(1·1) = 2 → perfectly balanced
+	if got := ImbalanceOn(layers, servers, plan); got != 0 {
+		t.Errorf("speed-aware imbalance %v, want 0", got)
+	}
+	// same plan on homogeneous servers is imbalanced
+	if got := Imbalance(layers, plan.Threads); got == 0 {
+		t.Error("homogeneous imbalance should be non-zero")
+	}
+}
+
+// TestGreedyPrefersFastServer: with one fast and one slow model server,
+// the heavy layer should land on the fast one.
+func TestGreedyPrefersFastServer(t *testing.T) {
+	layers := []Layer{
+		{Name: "heavy", Linear: true, Time: 10},
+		{Name: "light", Linear: true, Time: 1},
+		{Name: "non", Linear: false, Time: 2},
+	}
+	servers := []Server{
+		{Name: "m-slow", Model: true, Cores: 4, Speed: 1},
+		{Name: "m-fast", Model: true, Cores: 4, Speed: 4},
+		{Name: "d", Model: false, Cores: 4},
+	}
+	plan, err := Greedy(layers, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPlan(layers, servers, plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.ServerOf[0] != 1 {
+		t.Errorf("heavy layer on server %s, want the fast one", servers[plan.ServerOf[0]].Name)
+	}
+}
+
+// TestSolveHeterogeneousFallsBackToGreedy: Solve must stay valid and
+// speed-aware on heterogeneous clusters.
+func TestSolveHeterogeneousFallsBackToGreedy(t *testing.T) {
+	layers := fourLayers()
+	servers := []Server{
+		{Name: "m1", Model: true, Cores: 4, Speed: 2},
+		{Name: "m2", Model: true, Cores: 4, Speed: 0.5},
+		{Name: "d1", Model: false, Cores: 4, Speed: 1},
+	}
+	plan, err := Solve(layers, servers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPlan(layers, servers, plan); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(plan.Objective) || plan.Objective < 0 {
+		t.Errorf("objective %v", plan.Objective)
+	}
+	if plan.Exact {
+		t.Error("heterogeneous plan must not claim ILP optimality")
+	}
+}

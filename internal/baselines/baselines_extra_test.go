@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	mathrand "math/rand"
+	"testing"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/secshare"
+	"ppstream/internal/tensor"
+)
+
+// TestSecureMLConvNet runs the SecureML-style engine on a conv network
+// (conv path + batched rounds accounting).
+func TestSecureMLConvNet(t *testing.T) {
+	net := convNet(t)
+	s, err := NewSecureML(net, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sampleInput(net.InputShape, 7)
+	out, lat, err := s.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || out.Size() != 3 {
+		t.Errorf("lat %v size %d", lat, out.Size())
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("output not a distribution: sum %v", sum)
+	}
+	if s.Stats.TriplesUsed == 0 {
+		t.Error("conv used no triples")
+	}
+}
+
+// TestSecureMLBatchNorm covers the BN affine path.
+func TestSecureMLBatchNorm(t *testing.T) {
+	r := mathrand.New(mathrand.NewSource(74))
+	bn := nn.NewBatchNorm("bn", 2)
+	bn.Gamma = tensor.MustFromSlice([]float64{2, 0.5}, 2)
+	bn.Beta = tensor.MustFromSlice([]float64{0.1, -0.1}, 2)
+	net, err := nn.NewNetwork("bn-net", tensor.Shape{2},
+		nn.NewFC("fc", 2, 2, r),
+		bn,
+		nn.NewReLU("relu"),
+		nn.NewFC("fc2", 2, 2, r),
+		nn.NewSoftMax("sm"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSecureML(net, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustFromSlice([]float64{0.3, -0.6}, 2)
+	out, _, err := s.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: same network with ReLU→square.
+	h, _ := net.Layers[0].Forward(x)
+	h, _ = bn.Forward(h)
+	sq := tensor.Map(h, func(v float64) float64 { return v * v })
+	logits, _ := net.Layers[3].Forward(sq)
+	want, _ := net.Layers[4].Forward(logits)
+	if !tensor.AllClose(want, out, 0.05) {
+		t.Errorf("BN path diverges: %v vs %v", out.Data(), want.Data())
+	}
+}
+
+func TestSecureMLInputShape(t *testing.T) {
+	net := fcNet(t)
+	s, err := NewSecureML(net, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Infer(tensor.Zeros(5)); err == nil {
+		t.Error("wrong shape accepted")
+	}
+}
+
+// TestEzPCBatchNorm covers the EzPC BN path on a conv+BN model.
+func TestEzPCBatchNorm(t *testing.T) {
+	r := mathrand.New(mathrand.NewSource(75))
+	p := tensor.ConvParams{InC: 1, InH: 4, InW: 4, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv, err := nn.NewConv("c", p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := nn.NewBatchNorm("bn", 2)
+	bn.Gamma = tensor.MustFromSlice([]float64{1.2, 0.8}, 2)
+	net, err := nn.NewNetwork("ezpc-bn", tensor.Shape{1, 4, 4},
+		conv,
+		bn,
+		nn.NewReLU("relu"),
+		nn.NewFlatten("fl"),
+		nn.NewFC("fc", 32, 2, r),
+		nn.NewSoftMax("sm"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEzPC(net, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sampleInput(net.InputShape, 8)
+	out, _, err := e.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := net.Forward(x)
+	if !tensor.AllClose(want, out, 0.05) {
+		t.Errorf("EzPC BN diverges:\n got %v\nwant %v", out.Data(), want.Data())
+	}
+}
+
+// TestDotPrivateAccounting checks the private-weight linear op uses
+// triples and stays accurate over longer dot products.
+func TestDotPrivateAccounting(t *testing.T) {
+	eng := secshare.NewEngine(15)
+	n := 64
+	w := make([]float64, n)
+	xs := make([]float64, n)
+	var want float64
+	for i := 0; i < n; i++ {
+		w[i] = float64(i%7)/7 - 0.5
+		xs[i] = float64(i%5)/5 - 0.4
+		want += w[i] * xs[i]
+	}
+	shares := eng.ShareVec(xs)
+	dot, err := eng.DotPrivate(w, shares, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := secshare.Decode(dot.Reconstruct())
+	want += 0.25
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Errorf("DotPrivate = %v, want %v", got, want)
+	}
+	if eng.Stats.TriplesUsed == 0 {
+		t.Error("private dot consumed no triples (weights would leak)")
+	}
+	if _, err := eng.DotPrivate(w[:3], shares, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := eng.MatVecPrivate([][]float64{w}, []float64{1, 2}, shares); err == nil {
+		t.Error("bias mismatch accepted")
+	}
+}
+
+// TestCipherBaseRejectsBadModel: CipherBase inherits the protocol's
+// structural validation.
+func TestCipherBaseRejectsBadModel(t *testing.T) {
+	k := key(t)
+	r := mathrand.New(mathrand.NewSource(76))
+	bad, _ := nn.NewNetwork("bad", tensor.Shape{4}, nn.NewFC("fc", 4, 2, r))
+	if _, err := NewCipherBase(bad, k, 100); err == nil {
+		t.Error("linear-only network accepted")
+	}
+}

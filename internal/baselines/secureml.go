@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/qnn"
+	"ppstream/internal/secshare"
+	"ppstream/internal/tensor"
+)
+
+// SecureML is a SecureML-style two-party engine: linear layers over
+// additive shares with Beaver triples, and — as in SecureML's
+// MPC-friendly design — polynomial activations evaluated arithmetically
+// (x² here) instead of garbled-circuit ReLU. It avoids EzPC's protocol
+// transitions at the cost of changing the activation function, the
+// generality loss Table I attributes to SecureML.
+type SecureML struct {
+	net   *nn.Network
+	eng   *secshare.Engine
+	Stats secshare.Stats
+}
+
+// NewSecureML builds the engine; ReLU layers evaluate as x².
+func NewSecureML(net *nn.Network, seed int64) (*SecureML, error) {
+	if err := checkSupported(net, false); err != nil {
+		return nil, err
+	}
+	return &SecureML{net: net, eng: secshare.NewEngine(seed)}, nil
+}
+
+// Infer runs one private inference. The output is the SoftMax over the
+// opened final scores of the square-activation network.
+func (s *SecureML) Infer(x *tensor.Dense) (*tensor.Dense, time.Duration, error) {
+	start := time.Now()
+	if !x.Shape().Equal(s.net.InputShape) {
+		return nil, 0, fmt.Errorf("baselines: input shape %v, want %v", x.Shape(), s.net.InputShape)
+	}
+	shares := s.eng.ShareVec(x.Flatten().Data())
+	shape := s.net.InputShape
+	var result *tensor.Dense
+	for i, l := range s.net.Layers {
+		last := i == len(s.net.Layers)-1
+		switch v := l.(type) {
+		case *nn.FC:
+			w := make([][]float64, v.Out())
+			for o := 0; o < v.Out(); o++ {
+				w[o] = v.W.Data()[o*v.In() : (o+1)*v.In()]
+			}
+			out, err := s.eng.MatVecPrivate(w, v.B.Data(), shares)
+			if err != nil {
+				return nil, 0, err
+			}
+			shares, shape = out, tensor.Shape{v.Out()}
+		case *nn.Conv:
+			out, newShape, err := s.applyConv(v, shares, shape)
+			if err != nil {
+				return nil, 0, err
+			}
+			shares, shape = out, newShape
+		case *nn.Flatten:
+			shape = tensor.Shape{shape.Size()}
+		case *nn.ReLU:
+			out, err := s.eng.SquareVec(shares)
+			if err != nil {
+				return nil, 0, err
+			}
+			shares = out
+		case *nn.BatchNorm:
+			out, err := s.applyBatchNorm(v, shares, shape)
+			if err != nil {
+				return nil, 0, err
+			}
+			shares = out
+		case *nn.SoftMax:
+			if !last {
+				return nil, 0, fmt.Errorf("baselines: SoftMax must be final")
+			}
+			vals := s.eng.OpenVec(shares)
+			logits, err := tensor.FromSlice(vals, shape...)
+			if err != nil {
+				return nil, 0, err
+			}
+			result, err = v.Forward(logits)
+			if err != nil {
+				return nil, 0, err
+			}
+		default:
+			return nil, 0, fmt.Errorf("baselines: secureml unsupported layer %T", l)
+		}
+	}
+	s.Stats = s.eng.Stats
+	if result == nil {
+		return nil, 0, fmt.Errorf("baselines: secureml ended without a result")
+	}
+	return result, time.Since(start), nil
+}
+
+func (s *SecureML) applyConv(v *nn.Conv, x []secshare.Shares, shape tensor.Shape) ([]secshare.Shares, tensor.Shape, error) {
+	p := v.P
+	if shape.Size() != p.InC*p.InH*p.InW {
+		return nil, nil, fmt.Errorf("conv input %v", shape)
+	}
+	rows := qnn.GatherRows(p)
+	oh, ow := p.OutH(), p.OutW()
+	out := make([]secshare.Shares, p.OutC*oh*ow)
+	rowLen := p.InC * p.KH * p.KW
+	s.eng.Stats.Rounds++
+	for f := 0; f < p.OutC; f++ {
+		filt := v.W.Data()[f*rowLen : (f+1)*rowLen]
+		for pos := 0; pos < oh*ow; pos++ {
+			var ws []float64
+			var xs []secshare.Shares
+			for k, off := range rows[pos] {
+				if off < 0 || filt[k] == 0 {
+					continue
+				}
+				ws = append(ws, filt[k])
+				xs = append(xs, x[off])
+			}
+			sOut, err := s.eng.DotPrivate(ws, xs, v.B.Data()[f])
+			if err != nil {
+				return nil, nil, err
+			}
+			out[f*oh*ow+pos] = sOut
+		}
+	}
+	return out, tensor.Shape{p.OutC, oh, ow}, nil
+}
+
+func (s *SecureML) applyBatchNorm(v *nn.BatchNorm, x []secshare.Shares, shape tensor.Shape) ([]secshare.Shares, error) {
+	per := 1
+	if shape.Rank() == 3 {
+		per = shape[1] * shape[2]
+	}
+	out := make([]secshare.Shares, len(x))
+	s.eng.Stats.Rounds++
+	for i := range x {
+		c := i / per
+		if c >= v.Channels {
+			return nil, fmt.Errorf("batchnorm shape mismatch")
+		}
+		a, b := affineOf(v, c)
+		sOut, err := s.eng.DotPrivate([]float64{a}, []secshare.Shares{x[i]}, b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sOut
+	}
+	return out, nil
+}
+
+func affineOf(v *nn.BatchNorm, c int) (a, b float64) {
+	inv := 1 / math.Sqrt(v.Var.At(c)+v.Eps)
+	a = v.Gamma.At(c) * inv
+	return a, v.Beta.At(c) - a*v.Mean.At(c)
+}

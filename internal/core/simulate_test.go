@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"ppstream/internal/nn"
+)
+
+func TestSimStagesAndSimulate(t *testing.T) {
+	k := key(t)
+	net := smallNet(t)
+	eng, err := NewEngine(net, k, Options{Factor: 1000, ProfileReps: 1, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	stages, err := eng.SimStages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encrypt + every merged stage
+	if len(stages) != len(eng.Protocol.Merged)+1 {
+		t.Fatalf("%d sim stages for %d merged layers", len(stages), len(eng.Protocol.Merged))
+	}
+	if stages[0].Name != "encrypt" || stages[0].Base <= 0 {
+		t.Errorf("encrypt stage %+v", stages[0])
+	}
+	// linear stages carry communication accounting
+	li := 0
+	for i, m := range eng.Protocol.Merged {
+		s := stages[i+1]
+		if m.Kind == nn.Linear {
+			if s.CommElems <= 0 {
+				t.Errorf("linear stage %s has no comm accounting", s.Name)
+			}
+			li++
+		}
+		if s.Threads != eng.Plan.Threads[i] {
+			t.Errorf("stage %s threads %d != plan %d", s.Name, s.Threads, eng.Plan.Threads[i])
+		}
+	}
+	res, err := eng.Simulate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective <= 0 || res.First < res.Effective {
+		t.Errorf("simulation result %+v", res)
+	}
+	if res.Makespan < res.First {
+		t.Error("makespan below first-request latency")
+	}
+}
+
+// TestSimulatePartitioningReducesComm: the same engine with partitioning
+// carries less communication in its stage models.
+func TestSimulatePartitioningReducesComm(t *testing.T) {
+	k := key(t)
+	net := smallNet(t)
+	without, err := NewEngine(net, k, Options{Factor: 1000, ProfileReps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer without.Close()
+	with, err := NewEngine(net, k, Options{Factor: 1000, ProfileReps: 1, TensorPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer with.Close()
+	sa, err := without.SimStages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := with.SimStages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commA, commB int
+	for i := range sa {
+		commA += sa[i].CommElems
+		commB += sb[i].CommElems
+	}
+	if commB >= commA {
+		t.Errorf("partitioning comm %d not below baseline %d", commB, commA)
+	}
+}
+
+// TestProfiledTimesSkipProfiling: supplying a profile bypasses the
+// offline pass and lands in the plan.
+func TestProfiledTimesSkipProfiling(t *testing.T) {
+	k := key(t)
+	net := smallNet(t)
+	ref, err := NewEngine(net, k, Options{Factor: 1000, ProfileReps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	times := make([]float64, len(ref.Layers))
+	for i, l := range ref.Layers {
+		times[i] = l.Time
+	}
+	eng, err := NewEngine(net, k, Options{
+		Factor:          1000,
+		ProfiledTimes:   times,
+		ProfiledEncrypt: ref.EncryptTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := range times {
+		if eng.Layers[i].Time != times[i] {
+			t.Errorf("layer %d time %v, want %v", i, eng.Layers[i].Time, times[i])
+		}
+	}
+	// Wrong length must be rejected.
+	if _, err := NewEngine(net, k, Options{Factor: 1000, ProfiledTimes: times[:1]}); err == nil {
+		t.Error("mismatched profile length accepted")
+	}
+}
+
+func TestEngineReport(t *testing.T) {
+	k := key(t)
+	net := smallNet(t)
+	eng, err := NewEngine(net, k, Options{Factor: 1000, ProfileReps: 1, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	report, err := eng.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) != len(eng.Protocol.Merged) {
+		t.Fatalf("report covers %d stages", len(report))
+	}
+	for _, r := range report {
+		if r.Threads < 1 || r.Server == "" || r.Name == "" {
+			t.Errorf("incomplete report row %+v", r)
+		}
+		if r.Linear && (r.CommWithPart <= 0 || r.CommWithoutPart < r.CommWithPart) {
+			t.Errorf("linear comm accounting wrong: %+v", r)
+		}
+		if !r.Linear && r.CommWithPart != 0 {
+			t.Errorf("non-linear stage has comm: %+v", r)
+		}
+	}
+}

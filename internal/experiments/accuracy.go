@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppstream/internal/models"
+	"ppstream/internal/scaling"
+)
+
+// AccuracyRow is one model's row of Table IV (training set) or Table V
+// (testing set): accuracy at scaling factors 10^0..10^6 plus the
+// original (unscaled) accuracy and the factor the selection algorithm
+// picks.
+type AccuracyRow struct {
+	Model    string
+	Sweep    []float64 // accuracy at 10^0..10^6
+	Original float64
+	Selected int // selected exponent f
+}
+
+// AccuracyResult holds one of the two tables.
+type AccuracyResult struct {
+	OnTest bool
+	Rows   []AccuracyRow
+}
+
+// accuracyModels picks the model set: all nine, or the quick trio
+// covering tabular / conv / VGG.
+func accuracyModels(quick bool) []string {
+	if quick {
+		return []string{"Heart", "MNIST-2"}
+	}
+	var out []string
+	for _, s := range models.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Tables4And5 reproduces Exp#1's accuracy tables: for each model,
+// evaluate the parameter-rounded variants at every factor on the
+// training set (Table IV) and testing set (Table V), and run the
+// selection algorithm on the training set.
+func Tables4And5(cfg Config) (train *AccuracyResult, test *AccuracyResult, err error) {
+	cfg = cfg.withDefaults()
+	train = &AccuracyResult{OnTest: false}
+	test = &AccuracyResult{OnTest: true}
+	for _, name := range accuracyModels(cfg.Quick) {
+		net, ds, err := preparedModel(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		trainSweep, err := scaling.Sweep(net, ds.TrainX, ds.TrainY)
+		if err != nil {
+			return nil, nil, err
+		}
+		testSweep, err := scaling.Sweep(net, ds.TestX, ds.TestY)
+		if err != nil {
+			return nil, nil, err
+		}
+		origTrain, err := net.Accuracy(ds.TrainX, ds.TrainY)
+		if err != nil {
+			return nil, nil, err
+		}
+		origTest, err := net.Accuracy(ds.TestX, ds.TestY)
+		if err != nil {
+			return nil, nil, err
+		}
+		sel, err := scaling.SelectFactor(net, ds.TrainX, ds.TrainY, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		train.Rows = append(train.Rows, AccuracyRow{Model: name, Sweep: trainSweep, Original: origTrain, Selected: sel.Exponent})
+		test.Rows = append(test.Rows, AccuracyRow{Model: name, Sweep: testSweep, Original: origTest, Selected: sel.Exponent})
+	}
+	return train, test, nil
+}
+
+// SelectedFactor returns the scaling factor the Exp#1 algorithm picks
+// for a model (used by the latency experiments, which the paper runs at
+// the selected factors).
+func SelectedFactor(name string) (int64, error) {
+	net, ds, err := preparedModel(name)
+	if err != nil {
+		return 0, err
+	}
+	sel, err := scaling.SelectFactor(net, ds.TrainX, ds.TrainY, 0)
+	if err != nil {
+		return 0, err
+	}
+	return sel.Factor, nil
+}
+
+// Render formats the table like the paper's Tables IV/V.
+func (r *AccuracyResult) Render() string {
+	set := "training"
+	label := "Table IV"
+	if r.OnTest {
+		set = "testing"
+		label = "Table V"
+	}
+	header := []string{"model"}
+	for f := 0; f <= scaling.MaxExponent; f++ {
+		header = append(header, fmt.Sprintf("10^%d", f))
+	}
+	header = append(header, "original", "selected")
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{row.Model}
+		for f, acc := range row.Sweep {
+			mark := ""
+			if f == row.Selected {
+				mark = "*"
+			}
+			cells = append(cells, fmt.Sprintf("%.2f%s", acc*100, mark))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", row.Original*100), fmt.Sprintf("10^%d", row.Selected))
+		rows = append(rows, cells)
+	}
+	return fmt.Sprintf("%s (Exp#1): accuracy (%%) vs scaling factor on the %s set (* = selected)\n%s",
+		label, set, renderTable(header, rows))
+}

@@ -1,0 +1,193 @@
+package garble
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// LabelSize is the wire-label size in bytes (128-bit security labels).
+const LabelSize = 16
+
+// Label is a wire label.
+type Label [LabelSize]byte
+
+func (l Label) xor(o Label) Label {
+	var out Label
+	for i := range l {
+		out[i] = l[i] ^ o[i]
+	}
+	return out
+}
+
+// permBit returns the label's point-and-permute bit (lsb of last byte).
+func (l Label) permBit() int { return int(l[LabelSize-1] & 1) }
+
+// Garbled is the garbler's output: tables and decode information. It is
+// what crosses the wire to the evaluator (plus input labels).
+type Garbled struct {
+	// Tables holds, per AND gate (in gate order), the four encrypted
+	// rows.
+	Tables [][4]Label
+	// Decode holds, per output wire, the permute bit of the FALSE
+	// label: output bit = lsb(evaluated label) ⊕ Decode[i].
+	Decode []int
+}
+
+// Garbling is the garbler's secret state.
+type Garbling struct {
+	circuit *Circuit
+	delta   Label // free-XOR global offset, lsb forced to 1
+	zero    []Label
+	public  Garbled
+}
+
+// Garble garbles the circuit with fresh randomness.
+func Garble(c *Circuit) (*Garbling, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Garbling{circuit: c, zero: make([]Label, c.NWires())}
+	if _, err := rand.Read(g.delta[:]); err != nil {
+		return nil, fmt.Errorf("garble: randomness: %w", err)
+	}
+	g.delta[LabelSize-1] |= 1 // point-and-permute needs lsb(delta)=1
+	nin := c.NGarbler + c.NEval
+	for i := 0; i < nin; i++ {
+		if _, err := rand.Read(g.zero[i][:]); err != nil {
+			return nil, err
+		}
+	}
+	gateID := 0
+	for _, gate := range c.Gates {
+		switch gate.Type {
+		case XOR:
+			g.zero[gate.Out] = g.zero[gate.A].xor(g.zero[gate.B])
+		case NOT:
+			g.zero[gate.Out] = g.zero[gate.A].xor(g.delta)
+		case AND:
+			a0 := g.zero[gate.A]
+			b0 := g.zero[gate.B]
+			var out0 Label
+			if _, err := rand.Read(out0[:]); err != nil {
+				return nil, err
+			}
+			var table [4]Label
+			for va := 0; va <= 1; va++ {
+				for vb := 0; vb <= 1; vb++ {
+					la, lb := a0, b0
+					if va == 1 {
+						la = la.xor(g.delta)
+					}
+					if vb == 1 {
+						lb = lb.xor(g.delta)
+					}
+					lout := out0
+					if va&vb == 1 {
+						lout = lout.xor(g.delta)
+					}
+					row := la.permBit()<<1 | lb.permBit()
+					table[row] = hashGate(la, lb, gateID).xor(lout)
+				}
+			}
+			g.public.Tables = append(g.public.Tables, table)
+			g.zero[gate.Out] = out0
+			gateID++
+		default:
+			return nil, fmt.Errorf("garble: unknown gate type %v", gate.Type)
+		}
+	}
+	g.public.Decode = make([]int, len(c.Outputs))
+	for i, w := range c.Outputs {
+		g.public.Decode[i] = g.zero[w].permBit()
+	}
+	return g, nil
+}
+
+// Public returns the data shipped to the evaluator (tables + decode).
+func (g *Garbling) Public() *Garbled { return &g.public }
+
+// GarblerLabels selects the garbler's own input labels for its bits.
+func (g *Garbling) GarblerLabels(bits []bool) ([]Label, error) {
+	if len(bits) != g.circuit.NGarbler {
+		return nil, fmt.Errorf("garble: %d garbler bits, circuit wants %d", len(bits), g.circuit.NGarbler)
+	}
+	out := make([]Label, len(bits))
+	for i, b := range bits {
+		out[i] = g.zero[i]
+		if b {
+			out[i] = out[i].xor(g.delta)
+		}
+	}
+	return out, nil
+}
+
+// EvalLabelPair returns both labels of the evaluator's i-th input wire —
+// the sender inputs to the oblivious transfer.
+func (g *Garbling) EvalLabelPair(i int) (zero, one Label, err error) {
+	if i < 0 || i >= g.circuit.NEval {
+		return zero, one, fmt.Errorf("garble: no evaluator input %d", i)
+	}
+	w := g.circuit.NGarbler + i
+	return g.zero[w], g.zero[w].xor(g.delta), nil
+}
+
+// Evaluate runs the garbled circuit with one label per input wire and
+// returns the decoded output bits.
+func Evaluate(c *Circuit, pub *Garbled, garblerLabels, evalLabels []Label) ([]bool, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(garblerLabels) != c.NGarbler || len(evalLabels) != c.NEval {
+		return nil, fmt.Errorf("garble: label counts %d/%d, circuit wants %d/%d",
+			len(garblerLabels), len(evalLabels), c.NGarbler, c.NEval)
+	}
+	labels := make([]Label, c.NWires())
+	copy(labels, garblerLabels)
+	copy(labels[c.NGarbler:], evalLabels)
+	gateID := 0
+	for _, gate := range c.Gates {
+		switch gate.Type {
+		case XOR:
+			labels[gate.Out] = labels[gate.A].xor(labels[gate.B])
+		case NOT:
+			labels[gate.Out] = labels[gate.A] // semantics flip via decode
+		case AND:
+			if gateID >= len(pub.Tables) {
+				return nil, fmt.Errorf("garble: missing table for AND gate %d", gateID)
+			}
+			la, lb := labels[gate.A], labels[gate.B]
+			row := la.permBit()<<1 | lb.permBit()
+			labels[gate.Out] = hashGate(la, lb, gateID).xor(pub.Tables[gateID][row])
+			gateID++
+		}
+	}
+	if len(pub.Decode) != len(c.Outputs) {
+		return nil, fmt.Errorf("garble: decode length %d for %d outputs", len(pub.Decode), len(c.Outputs))
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = labels[w].permBit() != pub.Decode[i]
+	}
+	return out, nil
+}
+
+// hashGate is the garbling hash H(a, b, gid).
+func hashGate(a, b Label, gateID int) Label {
+	h := sha256.New()
+	h.Write(a[:])
+	h.Write(b[:])
+	var gid [8]byte
+	binary.LittleEndian.PutUint64(gid[:], uint64(gateID))
+	h.Write(gid[:])
+	var out Label
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// NOT gates flip semantics through the free-XOR delta on the garbler
+// side; the evaluator's label passes through unchanged but corresponds
+// to the flipped truth value because the garbler defined
+// zero[out] = zero[in] ⊕ delta. No table needed.
+var _ = NOT

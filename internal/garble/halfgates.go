@@ -1,0 +1,190 @@
+package garble
+
+import (
+	"crypto/rand"
+	"fmt"
+)
+
+// Half-gates garbling (Zahur, Rosulek, Evans — EUROCRYPT 2015): each AND
+// gate costs two ciphertexts instead of point-and-permute's four, with
+// XOR still free. The construction splits a∧b into a garbler half
+// a∧p_b (the garbler knows b's permute bit p_b) and an evaluator half
+// a∧(b⊕p_b) (the evaluator learns b⊕p_b from its label's permute bit):
+//
+//	T_G = H(A₀,2j) ⊕ H(A₁,2j) ⊕ p_b·Δ      W_G = H(A₀,2j) ⊕ p_a·T_G
+//	T_E = H(B₀,2j+1) ⊕ H(B₁,2j+1) ⊕ A₀     W_E = H(B₀,2j+1) ⊕ p_b·(T_E ⊕ A₀)
+//	out₀ = W_G ⊕ W_E, table = (T_G, T_E)
+//
+// evaluation with labels A, B (permute bits s_a, s_b):
+//
+//	W = H(A,2j) ⊕ s_a·T_G ⊕ H(B,2j+1) ⊕ s_b·(T_E ⊕ A)
+//
+// Halving the tables halves the garbled-circuit bytes on the wire — the
+// dominant communication of the EzPC-style baseline — which is why
+// production GC systems use it; the ablation benchmarks compare both
+// schemes.
+
+// GarbledHG is the evaluator-visible part of a half-gates garbling.
+type GarbledHG struct {
+	// Tables holds two rows per AND gate in gate order.
+	Tables [][2]Label
+	// Decode holds per-output permute bits of the FALSE labels.
+	Decode []int
+}
+
+// GarblingHG is the garbler's secret state for half-gates.
+type GarblingHG struct {
+	circuit *Circuit
+	delta   Label
+	zero    []Label
+	public  GarbledHG
+}
+
+// GarbleHG garbles the circuit with the half-gates scheme.
+func GarbleHG(c *Circuit) (*GarblingHG, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GarblingHG{circuit: c, zero: make([]Label, c.NWires())}
+	if _, err := rand.Read(g.delta[:]); err != nil {
+		return nil, fmt.Errorf("garble: randomness: %w", err)
+	}
+	g.delta[LabelSize-1] |= 1
+	nin := c.NGarbler + c.NEval
+	for i := 0; i < nin; i++ {
+		if _, err := rand.Read(g.zero[i][:]); err != nil {
+			return nil, err
+		}
+	}
+	gateID := 0
+	for _, gate := range c.Gates {
+		switch gate.Type {
+		case XOR:
+			g.zero[gate.Out] = g.zero[gate.A].xor(g.zero[gate.B])
+		case NOT:
+			g.zero[gate.Out] = g.zero[gate.A].xor(g.delta)
+		case AND:
+			a0 := g.zero[gate.A]
+			a1 := a0.xor(g.delta)
+			b0 := g.zero[gate.B]
+			b1 := b0.xor(g.delta)
+			pa := a0.permBit()
+			pb := b0.permBit()
+
+			hA0 := hashGate(a0, tweak(gateID, 0), 2*gateID)
+			hA1 := hashGate(a1, tweak(gateID, 0), 2*gateID)
+			tg := hA0.xor(hA1)
+			if pb == 1 {
+				tg = tg.xor(g.delta)
+			}
+			wg := hA0
+			if pa == 1 {
+				wg = wg.xor(tg)
+			}
+
+			hB0 := hashGate(b0, tweak(gateID, 1), 2*gateID+1)
+			hB1 := hashGate(b1, tweak(gateID, 1), 2*gateID+1)
+			te := hB0.xor(hB1).xor(a0)
+			we := hB0
+			if pb == 1 {
+				we = we.xor(te.xor(a0))
+			}
+
+			g.zero[gate.Out] = wg.xor(we)
+			g.public.Tables = append(g.public.Tables, [2]Label{tg, te})
+			gateID++
+		default:
+			return nil, fmt.Errorf("garble: unknown gate type %v", gate.Type)
+		}
+	}
+	g.public.Decode = make([]int, len(c.Outputs))
+	for i, w := range c.Outputs {
+		g.public.Decode[i] = g.zero[w].permBit()
+	}
+	return g, nil
+}
+
+// tweak gives the two halves of gate j distinct hash domains.
+func tweak(gateID, half int) Label {
+	var t Label
+	t[0] = byte(half + 1)
+	t[1] = byte(gateID)
+	t[2] = byte(gateID >> 8)
+	t[3] = byte(gateID >> 16)
+	return t
+}
+
+// Public returns the evaluator's view.
+func (g *GarblingHG) Public() *GarbledHG { return &g.public }
+
+// GarblerLabels selects the garbler's input labels.
+func (g *GarblingHG) GarblerLabels(bits []bool) ([]Label, error) {
+	if len(bits) != g.circuit.NGarbler {
+		return nil, fmt.Errorf("garble: %d garbler bits, circuit wants %d", len(bits), g.circuit.NGarbler)
+	}
+	out := make([]Label, len(bits))
+	for i, b := range bits {
+		out[i] = g.zero[i]
+		if b {
+			out[i] = out[i].xor(g.delta)
+		}
+	}
+	return out, nil
+}
+
+// EvalLabelPair returns both labels of evaluator input i (for OT).
+func (g *GarblingHG) EvalLabelPair(i int) (zero, one Label, err error) {
+	if i < 0 || i >= g.circuit.NEval {
+		return zero, one, fmt.Errorf("garble: no evaluator input %d", i)
+	}
+	w := g.circuit.NGarbler + i
+	return g.zero[w], g.zero[w].xor(g.delta), nil
+}
+
+// EvaluateHG evaluates a half-gates garbled circuit.
+func EvaluateHG(c *Circuit, pub *GarbledHG, garblerLabels, evalLabels []Label) ([]bool, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(garblerLabels) != c.NGarbler || len(evalLabels) != c.NEval {
+		return nil, fmt.Errorf("garble: label counts %d/%d, circuit wants %d/%d",
+			len(garblerLabels), len(evalLabels), c.NGarbler, c.NEval)
+	}
+	labels := make([]Label, c.NWires())
+	copy(labels, garblerLabels)
+	copy(labels[c.NGarbler:], evalLabels)
+	gateID := 0
+	for _, gate := range c.Gates {
+		switch gate.Type {
+		case XOR:
+			labels[gate.Out] = labels[gate.A].xor(labels[gate.B])
+		case NOT:
+			labels[gate.Out] = labels[gate.A]
+		case AND:
+			if gateID >= len(pub.Tables) {
+				return nil, fmt.Errorf("garble: missing table for AND gate %d", gateID)
+			}
+			a := labels[gate.A]
+			b := labels[gate.B]
+			tg, te := pub.Tables[gateID][0], pub.Tables[gateID][1]
+			w := hashGate(a, tweak(gateID, 0), 2*gateID)
+			if a.permBit() == 1 {
+				w = w.xor(tg)
+			}
+			wE := hashGate(b, tweak(gateID, 1), 2*gateID+1)
+			if b.permBit() == 1 {
+				wE = wE.xor(te.xor(a))
+			}
+			labels[gate.Out] = w.xor(wE)
+			gateID++
+		}
+	}
+	if len(pub.Decode) != len(c.Outputs) {
+		return nil, fmt.Errorf("garble: decode length %d for %d outputs", len(pub.Decode), len(c.Outputs))
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = labels[w].permBit() != pub.Decode[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package garble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// hgEval garbles with half-gates and evaluates with directly handed
+// labels.
+func hgEval(t *testing.T, c *Circuit, gBits, eBits []bool) []bool {
+	t.Helper()
+	g, err := GarbleHG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := g.GarblerLabels(gBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := make([]Label, len(eBits))
+	for i, b := range eBits {
+		zero, one, err := g.EvalLabelPair(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b {
+			el[i] = one
+		} else {
+			el[i] = zero
+		}
+	}
+	out, err := EvaluateHG(c, g.Public(), gl, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHalfGatesTruthTables(t *testing.T) {
+	b := NewBuilder(1, 1)
+	andW := b.AND(0, 1)
+	xorW := b.XOR(0, 1)
+	notW := b.NOT(andW)
+	b.Output(andW, xorW, notW)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ga := range []bool{false, true} {
+		for _, ea := range []bool{false, true} {
+			got := hgEval(t, c, []bool{ga}, []bool{ea})
+			if got[0] != (ga && ea) {
+				t.Errorf("AND(%v,%v) = %v", ga, ea, got[0])
+			}
+			if got[1] != (ga != ea) {
+				t.Errorf("XOR(%v,%v) = %v", ga, ea, got[1])
+			}
+			if got[2] != !(ga && ea) {
+				t.Errorf("NAND(%v,%v) = %v", ga, ea, got[2])
+			}
+		}
+	}
+}
+
+func TestHalfGatesTwoRowsPerAND(t *testing.T) {
+	c, err := ReLUShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GarbleHG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Public().Tables) != c.ANDCount() {
+		t.Errorf("%d tables for %d AND gates", len(g.Public().Tables), c.ANDCount())
+	}
+	// Bytes on the wire: half-gates 2 labels/AND vs point-and-permute 4.
+	hgBytes := len(g.Public().Tables) * 2 * LabelSize
+	ppBytes := c.ANDCount() * 4 * LabelSize
+	if hgBytes*2 != ppBytes {
+		t.Errorf("table bytes %d, point-and-permute %d — expected exactly half", hgBytes, ppBytes)
+	}
+}
+
+// TestHalfGatesReLU runs the EzPC ReLU conversion under half-gates.
+func TestHalfGatesReLU(t *testing.T) {
+	c, err := ReLUShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, x := range []int64{98765, -98765, 0, 1, -1} {
+		x0 := rng.Uint64()
+		x1 := uint64(x) - x0
+		r := rng.Uint64()
+		out := hgEval(t, c, append(Bits64(x0), Bits64(-r)...), Bits64(x1))
+		y := int64(FromBits64(out) + r)
+		want := x
+		if want < 0 {
+			want = 0
+		}
+		if y != want {
+			t.Errorf("half-gates ReLU(%d) = %d", x, y)
+		}
+	}
+}
+
+// Property: half-gates and point-and-permute agree with plain evaluation
+// on random circuits.
+func TestHalfGatesMatchesPlainProperty(t *testing.T) {
+	f := func(seed int64, gRaw, eRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(4, 4)
+		wires := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		for i := 0; i < 14; i++ {
+			a := wires[rng.Intn(len(wires))]
+			x := wires[rng.Intn(len(wires))]
+			var out int
+			switch rng.Intn(3) {
+			case 0:
+				out = b.XOR(a, x)
+			case 1:
+				out = b.AND(a, x)
+			default:
+				out = b.NOT(a)
+			}
+			wires = append(wires, out)
+		}
+		b.Output(wires[len(wires)-4:]...)
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		gBits := make([]bool, 4)
+		eBits := make([]bool, 4)
+		for i := 0; i < 4; i++ {
+			gBits[i] = gRaw>>uint(i)&1 == 1
+			eBits[i] = eRaw>>uint(i)&1 == 1
+		}
+		g, err := GarbleHG(c)
+		if err != nil {
+			return false
+		}
+		gl, err := g.GarblerLabels(gBits)
+		if err != nil {
+			return false
+		}
+		el := make([]Label, 4)
+		for i, bit := range eBits {
+			z, o, err := g.EvalLabelPair(i)
+			if err != nil {
+				return false
+			}
+			if bit {
+				el[i] = o
+			} else {
+				el[i] = z
+			}
+		}
+		got, err := EvaluateHG(c, g.Public(), gl, el)
+		if err != nil {
+			return false
+		}
+		want := evalPlain(c, gBits, eBits)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfGatesValidation(t *testing.T) {
+	bad := &Circuit{NGarbler: 0, NEval: 0}
+	if _, err := GarbleHG(bad); err == nil {
+		t.Error("inputless circuit garbled")
+	}
+	b := NewBuilder(1, 1)
+	b.Output(b.AND(0, 1))
+	c, _ := b.Build()
+	g, err := GarbleHG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GarblerLabels([]bool{true, false}); err == nil {
+		t.Error("wrong garbler bit count accepted")
+	}
+	if _, _, err := g.EvalLabelPair(5); err == nil {
+		t.Error("out-of-range eval input accepted")
+	}
+	if _, err := EvaluateHG(c, g.Public(), nil, nil); err == nil {
+		t.Error("missing labels accepted")
+	}
+}

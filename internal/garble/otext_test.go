@@ -1,0 +1,114 @@
+package garble
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOTExtensionCorrectness(t *testing.T) {
+	ot := sharedOT(t)
+	rng := rand.New(rand.NewSource(13))
+	const m = 200
+	choice := make([]bool, m)
+	pairs := make([][2]Label, m)
+	for i := 0; i < m; i++ {
+		choice[i] = rng.Intn(2) == 1
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+	}
+	send, recv, baseOTs, err := NewOTExtension(ot, m, choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseOTs != extK {
+		t.Errorf("base OTs %d, want %d", baseOTs, extK)
+	}
+	for i := 0; i < m; i++ {
+		y0, y1, err := send.Transfer(i, pairs[i][0], pairs[i][1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := recv.Receive(i, y0, y1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pairs[i][0]
+		if choice[i] {
+			want = pairs[i][1]
+		}
+		if got != want {
+			t.Fatalf("transfer %d (choice %v) wrong label", i, choice[i])
+		}
+		// The receiver must NOT be able to unmask the other label via
+		// its own hash (sanity: other mask differs).
+		other := pairs[i][0]
+		if choice[i] {
+			other = pairs[i][1]
+		}
+		_ = other
+	}
+}
+
+func TestOTExtensionValidation(t *testing.T) {
+	ot := sharedOT(t)
+	if _, _, _, err := NewOTExtension(ot, 0, nil); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, _, _, err := NewOTExtension(ot, 3, []bool{true}); err == nil {
+		t.Error("choice-length mismatch accepted")
+	}
+	send, recv, _, err := NewOTExtension(ot, 2, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Label
+	if _, _, err := send.Transfer(5, l, l); err == nil {
+		t.Error("out-of-range transfer accepted")
+	}
+	if _, err := recv.Receive(-1, l, l); err == nil {
+		t.Error("out-of-range receive accepted")
+	}
+}
+
+// TestReLUWithOTExtension runs the full EzPC-style ReLU conversion with
+// extended OTs — the configuration the baseline uses at scale.
+func TestReLUWithOTExtension(t *testing.T) {
+	c, err := ReLUShares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot := sharedOT(t)
+	rng := rand.New(rand.NewSource(17))
+	for _, x := range []int64{12345, -12345, 0} {
+		g, err := Garble(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := rng.Uint64()
+		x1 := uint64(x) - x0
+		r := rng.Uint64()
+		gl, err := g.GarblerLabels(append(Bits64(x0), Bits64(-r)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, n, err := TransferLabelsExt(g, ot, Bits64(x1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 64 {
+			t.Errorf("extension transferred %d labels, want 64", n)
+		}
+		out, err := Evaluate(c, g.Public(), gl, el)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := int64(FromBits64(out) + r)
+		want := x
+		if want < 0 {
+			want = 0
+		}
+		if y != want {
+			t.Errorf("ReLU(%d) = %d via extension", x, y)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports how a solve ended.
+type Status int
+
+const (
+	// Optimal means the returned solution is provably optimal.
+	Optimal Status = iota
+	// Feasible means a feasible integer solution was found but the node
+	// budget expired before optimality was proven.
+	Feasible
+	// Infeasible means no feasible solution exists.
+	Infeasible
+	// Unbounded means the relaxation is unbounded below.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes caps the number of explored nodes (0 = default 200000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// IncumbentBound, when non-nil, seeds the search with a known
+	// feasible objective value (e.g. from a heuristic): nodes whose
+	// relaxation cannot beat it are pruned immediately. The solution
+	// may come back empty if nothing better exists.
+	IncumbentBound *float64
+}
+
+const defaultMaxNodes = 200000
+
+// Solve minimizes the problem with branch-and-bound over its integer
+// variables. Purely continuous problems reduce to a single LP solve.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = defaultMaxNodes
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+
+	sol := &Solution{Status: Infeasible, Objective: math.Inf(1)}
+	if opts.IncumbentBound != nil {
+		sol.Objective = *opts.IncumbentBound
+	}
+
+	// Node-local bounds applied as extra constraints.
+	type node struct {
+		lower map[int]float64
+		upper map[int]float64
+	}
+	stack := []node{{lower: map[int]float64{}, upper: map[int]float64{}}}
+
+	for len(stack) > 0 && sol.Nodes < opts.MaxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sol.Nodes++
+
+		sub := withBounds(p, nd.lower, nd.upper)
+		res := solveLP(sub)
+		if res.infeasible {
+			continue
+		}
+		if res.unbounded {
+			if sol.Nodes == 1 {
+				return &Solution{Status: Unbounded, Nodes: sol.Nodes}, nil
+			}
+			continue
+		}
+		if res.obj >= sol.Objective-1e-9 {
+			continue // pruned by incumbent bound
+		}
+		// Find most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for j := range p.Obj {
+			if p.Integer == nil || !p.Integer[j] {
+				continue
+			}
+			f := res.x[j] - math.Floor(res.x[j])
+			dist := math.Min(f, 1-f)
+			if dist > opts.IntTol && dist > frac {
+				frac = dist
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integer-feasible: new incumbent.
+			x := make([]float64, len(res.x))
+			copy(x, res.x)
+			// Snap near-integers exactly.
+			for j := range x {
+				if p.Integer != nil && p.Integer[j] {
+					x[j] = math.Round(x[j])
+				}
+			}
+			sol.X = x
+			sol.Objective = res.obj
+			sol.Status = Optimal // provisional; downgraded below on budget exhaustion
+			continue
+		}
+		v := res.x[branchVar]
+		// Branch: x ≤ floor(v) and x ≥ ceil(v). DFS, exploring the
+		// rounded-nearest side first (pushed last).
+		down := node{lower: cloneBounds(nd.lower), upper: cloneBounds(nd.upper)}
+		tightenUpper(down.upper, branchVar, math.Floor(v))
+		up := node{lower: cloneBounds(nd.lower), upper: cloneBounds(nd.upper)}
+		tightenLower(up.lower, branchVar, math.Ceil(v))
+		if v-math.Floor(v) < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	if sol.Status == Optimal && sol.Nodes >= opts.MaxNodes && len(stack) >= 0 {
+		// Budget expired with open nodes possible: can't certify optimality.
+		if sol.Nodes >= opts.MaxNodes {
+			sol.Status = Feasible
+		}
+	}
+	if sol.X == nil {
+		sol.Status = Infeasible
+		sol.Objective = math.NaN()
+	}
+	return sol, nil
+}
+
+func cloneBounds(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func tightenUpper(m map[int]float64, j int, v float64) {
+	if cur, ok := m[j]; !ok || v < cur {
+		m[j] = v
+	}
+}
+
+func tightenLower(m map[int]float64, j int, v float64) {
+	if cur, ok := m[j]; !ok || v > cur {
+		m[j] = v
+	}
+}
+
+// withBounds augments the problem with node-local variable bounds as
+// constraints (upper) and ≥ rows (lower).
+func withBounds(p *Problem, lower, upper map[int]float64) *Problem {
+	sub := &Problem{Obj: p.Obj, Upper: p.Upper, Integer: p.Integer}
+	sub.Cons = make([]Constraint, len(p.Cons), len(p.Cons)+len(lower)+len(upper))
+	copy(sub.Cons, p.Cons)
+	n := p.NumVars()
+	for j, v := range upper {
+		coeffs := make([]float64, n)
+		coeffs[j] = 1
+		sub.Cons = append(sub.Cons, Constraint{Coeffs: coeffs, Sense: LE, RHS: v})
+	}
+	for j, v := range lower {
+		if v <= 0 {
+			continue // x ≥ 0 already
+		}
+		coeffs := make([]float64, n)
+		coeffs[j] = 1
+		sub.Cons = append(sub.Cons, Constraint{Coeffs: coeffs, Sense: GE, RHS: v})
+	}
+	return sub
+}

@@ -1,0 +1,233 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (&Problem{}).Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	p := &Problem{Obj: []float64{1}, Upper: []float64{1, 2}}
+	if err := p.Validate(); err == nil {
+		t.Error("bound-length mismatch accepted")
+	}
+	p2 := &Problem{Obj: []float64{1}, Cons: []Constraint{{Coeffs: []float64{1, 2}, RHS: 1}}}
+	if err := p2.Validate(); err == nil {
+		t.Error("oversized constraint accepted")
+	}
+}
+
+// A continuous LP: min -x-y s.t. x+y ≤ 4, x ≤ 2, y ≤ 3 -> (2,2) or (1,3),
+// objective -4.
+func TestPureLP(t *testing.T) {
+	p := &Problem{
+		Obj: []float64{-1, -1},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+		},
+		Upper: []float64{2, 3},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+4) > 1e-6 {
+		t.Errorf("objective %v, want -4", sol.Objective)
+	}
+}
+
+// The classic knapsack-ish IP: max 5x+4y (min -5x-4y) s.t. 6x+4y ≤ 24,
+// x+2y ≤ 6, integers -> LP optimum (3, 1.5) obj -21; IP optimum x=4? no:
+// 6·4=24, y=0 -> obj -20; or x=3,y=1 -> 18+4? 6·3+4=22 ≤ 24, 3+2=5 ≤ 6 ->
+// obj -19. x=2,y=2: 12+8=20 ≤ 24, 2+4=6 ≤ 6 -> -18. Best integer is x=4 y=0 (-20).
+func TestIntegerKnapsack(t *testing.T) {
+	p := &Problem{
+		Obj: []float64{-5, -4},
+		Cons: []Constraint{
+			{Coeffs: []float64{6, 4}, Sense: LE, RHS: 24},
+			{Coeffs: []float64{1, 2}, Sense: LE, RHS: 6},
+		},
+		Integer: []bool{true, true},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+20) > 1e-6 {
+		t.Errorf("objective %v, want -20 (x=4,y=0), x=%v", sol.Objective, sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y = 5, x ≤ 3 -> any split, objective 5.
+	p := &Problem{
+		Obj: []float64{1, 1},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 5},
+		},
+		Upper: []float64{3, math.Inf(1)},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-5) > 1e-6 {
+		t.Errorf("status %v obj %v", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-5) > 1e-6 {
+		t.Errorf("equality violated: %v", sol.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x+3y s.t. x+y ≥ 4, x ≥ 0, y ≥ 0 -> x=4 y=0, obj 8.
+	p := &Problem{
+		Obj: []float64{2, 3},
+		Cons: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 4},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-8) > 1e-6 {
+		t.Errorf("status %v obj %v x %v", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2 simultaneously.
+	p := &Problem{
+		Obj: []float64{1},
+		Cons: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with no constraints.
+	p := &Problem{Obj: []float64{-1}}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status %v, want unbounded", sol.Status)
+	}
+}
+
+// Binary assignment: 3 jobs to 2 machines, each job on exactly one
+// machine, machine capacity 2 jobs, minimize cost.
+func TestBinaryAssignment(t *testing.T) {
+	// vars x[j][m] flattened: cost matrix
+	cost := []float64{
+		1, 9, // job0: m0 cheap
+		9, 1, // job1: m1 cheap
+		5, 5, // job2: either
+	}
+	var cons []Constraint
+	// each job exactly one machine
+	for j := 0; j < 3; j++ {
+		c := make([]float64, 6)
+		c[j*2], c[j*2+1] = 1, 1
+		cons = append(cons, Constraint{Coeffs: c, Sense: EQ, RHS: 1})
+	}
+	// machine capacity ≤ 2
+	for m := 0; m < 2; m++ {
+		c := make([]float64, 6)
+		for j := 0; j < 3; j++ {
+			c[j*2+m] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: c, Sense: LE, RHS: 2})
+	}
+	p := &Problem{
+		Obj:     cost,
+		Cons:    cons,
+		Upper:   []float64{1, 1, 1, 1, 1, 1},
+		Integer: []bool{true, true, true, true, true, true},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-7) > 1e-6 {
+		t.Errorf("status %v obj %v x %v (want 1+1+5=7)", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	// A problem needing branching with a budget of 1 node can at best be
+	// Feasible or report nothing — never claim Optimal falsely unless it
+	// proved it within budget.
+	p := &Problem{
+		Obj: []float64{-1, -1},
+		Cons: []Constraint{
+			{Coeffs: []float64{2, 2}, Sense: LE, RHS: 3},
+		},
+		Integer: []bool{true, true},
+		Upper:   []float64{10, 10},
+	}
+	sol, err := Solve(p, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Optimal && sol.Nodes >= 1 && sol.X == nil {
+		t.Error("claimed optimal with no solution")
+	}
+}
+
+// Property: for random small bounded IPs, the BnB solution is never
+// better than the LP relaxation and always satisfies all constraints.
+func TestSolutionFeasibleProperty(t *testing.T) {
+	f := func(seedA, seedB, seedC int8) bool {
+		a, b, c := float64(seedA%5)+6, float64(seedB%5)+6, float64(seedC%4)+4
+		p := &Problem{
+			Obj: []float64{-1, -2},
+			Cons: []Constraint{
+				{Coeffs: []float64{a, 1}, Sense: LE, RHS: 3 * a},
+				{Coeffs: []float64{1, b}, Sense: LE, RHS: 2 * b},
+				{Coeffs: []float64{1, 1}, Sense: LE, RHS: c},
+			},
+			Integer: []bool{true, true},
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		relax := solveLP(p)
+		if sol.Objective < relax.obj-1e-6 {
+			return false // integer solution cannot beat the relaxation
+		}
+		x, y := sol.X[0], sol.X[1]
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		if a*x+y > 3*a+1e-6 || x+b*y > 2*b+1e-6 || x+y > c+1e-6 {
+			return false
+		}
+		// integrality
+		return math.Abs(x-math.Round(x)) < 1e-6 && math.Abs(y-math.Round(y)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

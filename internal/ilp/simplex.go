@@ -1,0 +1,314 @@
+// Package ilp is a from-scratch integer linear programming solver: a
+// dense two-phase primal simplex for the LP relaxation and depth-first
+// branch-and-bound for integrality. It replaces the Gurobi dependency the
+// paper uses for load-balanced resource allocation (Section IV-C); the
+// allocation instances are small, so a dense exact solver is adequate.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense describes a constraint's relation.
+type Sense int
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an = constraint.
+	EQ
+)
+
+// Constraint is one linear row: Coeffs·x (Sense) RHS. Coeffs is indexed by
+// variable; missing trailing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a minimization over non-negative variables with optional
+// upper bounds and integrality flags.
+type Problem struct {
+	// Obj holds the objective coefficients (minimize Obj·x).
+	Obj []float64
+	// Cons are the linear constraints.
+	Cons []Constraint
+	// Upper holds per-variable upper bounds; math.Inf(1) (or a nil
+	// slice) means unbounded above. Variables are always ≥ 0.
+	Upper []float64
+	// Integer marks variables that must take integer values.
+	Integer []bool
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.Obj) }
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	if n == 0 {
+		return errors.New("ilp: no variables")
+	}
+	if p.Upper != nil && len(p.Upper) != n {
+		return fmt.Errorf("ilp: %d upper bounds for %d variables", len(p.Upper), n)
+	}
+	if p.Integer != nil && len(p.Integer) != n {
+		return fmt.Errorf("ilp: %d integer flags for %d variables", len(p.Integer), n)
+	}
+	for i, c := range p.Cons {
+		if len(c.Coeffs) > n {
+			return fmt.Errorf("ilp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) {
+			return fmt.Errorf("ilp: constraint %d has NaN RHS", i)
+		}
+	}
+	return nil
+}
+
+// lpResult is the outcome of an LP relaxation solve.
+type lpResult struct {
+	x          []float64
+	obj        float64
+	infeasible bool
+	unbounded  bool
+}
+
+const simplexEps = 1e-9
+
+// solveLP solves the LP relaxation with a dense two-phase simplex,
+// folding variable upper bounds in as explicit ≤ rows.
+func solveLP(p *Problem) lpResult {
+	n := p.NumVars()
+	// Expand rows: user constraints plus upper-bound rows.
+	type row struct {
+		coeffs []float64
+		sense  Sense
+		rhs    float64
+	}
+	var rows []row
+	for _, c := range p.Cons {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rhs := c.RHS
+		sense := c.Sense
+		// Normalize to non-negative RHS (flip sense).
+		if rhs < 0 {
+			for i := range coeffs {
+				coeffs[i] = -coeffs[i]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows = append(rows, row{coeffs, sense, rhs})
+	}
+	if p.Upper != nil {
+		for i, ub := range p.Upper {
+			if math.IsInf(ub, 1) {
+				continue
+			}
+			coeffs := make([]float64, n)
+			coeffs[i] = 1
+			rows = append(rows, row{coeffs, LE, ub})
+		}
+	}
+	m := len(rows)
+
+	// Tableau columns: n structural + slack/surplus + artificial + RHS.
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	si, ai := n, n+nSlack
+	artRows := map[int]bool{}
+	for r, rw := range rows {
+		copy(tab[r], rw.coeffs)
+		tab[r][total] = rw.rhs
+		switch rw.sense {
+		case LE:
+			tab[r][si] = 1
+			basis[r] = si
+			si++
+		case GE:
+			tab[r][si] = -1
+			si++
+			tab[r][ai] = 1
+			basis[r] = ai
+			artRows[r] = true
+			ai++
+		case EQ:
+			tab[r][ai] = 1
+			basis[r] = ai
+			artRows[r] = true
+			ai++
+		}
+	}
+
+	pivot := func(objRow []float64) bool {
+		// Returns false if unbounded. Bland's rule for anti-cycling.
+		for iter := 0; iter < 20000; iter++ {
+			// entering: lowest-index column with negative reduced cost
+			col := -1
+			for j := 0; j < total; j++ {
+				if objRow[j] < -simplexEps {
+					col = j
+					break
+				}
+			}
+			if col < 0 {
+				return true // optimal
+			}
+			// leaving: min ratio, Bland tie-break on basis index
+			rowIdx := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := tab[i][col]
+				if a > simplexEps {
+					ratio := tab[i][total] / a
+					if ratio < best-simplexEps || (math.Abs(ratio-best) <= simplexEps && (rowIdx < 0 || basis[i] < basis[rowIdx])) {
+						best = ratio
+						rowIdx = i
+					}
+				}
+			}
+			if rowIdx < 0 {
+				return false // unbounded
+			}
+			// pivot on (rowIdx, col)
+			pv := tab[rowIdx][col]
+			prow := tab[rowIdx]
+			for j := 0; j <= total; j++ {
+				prow[j] /= pv
+			}
+			for i := 0; i <= m; i++ {
+				var target []float64
+				if i == m {
+					target = objRow
+				} else {
+					target = tab[i]
+				}
+				if i == rowIdx {
+					continue
+				}
+				f := target[col]
+				if f == 0 {
+					continue
+				}
+				for j := 0; j <= total; j++ {
+					target[j] -= f * prow[j]
+				}
+			}
+			basis[rowIdx] = col
+		}
+		return true // iteration cap: treat current point as final
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		obj1 := make([]float64, total+1)
+		for j := n + nSlack; j < total; j++ {
+			obj1[j] = 1
+		}
+		// Make reduced costs consistent with the basis (artificials basic).
+		for r := range rows {
+			if artRows[r] {
+				for j := 0; j <= total; j++ {
+					obj1[j] -= tab[r][j]
+				}
+			}
+		}
+		if !pivot(obj1) {
+			return lpResult{infeasible: true}
+		}
+		if -obj1[total] > 1e-6 { // phase-1 objective > 0
+			return lpResult{infeasible: true}
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				// find a non-artificial column to pivot in
+				done := false
+				for j := 0; j < n+nSlack && !done; j++ {
+					if math.Abs(tab[i][j]) > simplexEps {
+						pv := tab[i][j]
+						for k := 0; k <= total; k++ {
+							tab[i][k] /= pv
+						}
+						for r := 0; r < m; r++ {
+							if r == i {
+								continue
+							}
+							f := tab[r][j]
+							if f == 0 {
+								continue
+							}
+							for k := 0; k <= total; k++ {
+								tab[r][k] -= f * tab[i][k]
+							}
+						}
+						basis[i] = j
+						done = true
+					}
+				}
+				// if the row is all-zero it is redundant; leave it
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificials pinned at zero.
+	obj2 := make([]float64, total+1)
+	copy(obj2, p.Obj)
+	for j := n + nSlack; j < total; j++ {
+		obj2[j] = 1e7 // strongly discourage re-entering artificials
+	}
+	// Reduce against current basis.
+	for i := 0; i < m; i++ {
+		f := obj2[basis[i]]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			obj2[j] -= f * tab[i][j]
+		}
+	}
+	if !pivot(obj2) {
+		return lpResult{unbounded: true}
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = tab[i][total]
+		}
+	}
+	var obj float64
+	for j := 0; j < n; j++ {
+		obj += p.Obj[j] * x[j]
+	}
+	return lpResult{x: x, obj: obj}
+}

@@ -1,0 +1,140 @@
+package leakage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppstream/internal/obfuscate"
+	"ppstream/internal/tensor"
+)
+
+func TestDistanceCorrelationIdentical(t *testing.T) {
+	x := []float64{1, 5, 2, 8, 3, 9, 4, 7}
+	d, err := DistanceCorrelation(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("dcor(x,x) = %v, want 1", d)
+	}
+}
+
+func TestDistanceCorrelationLinear(t *testing.T) {
+	// Perfect linear dependence also yields 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	d, err := DistanceCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("dcor(linear) = %v, want 1", d)
+	}
+}
+
+func TestDistanceCorrelationIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 512
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	d, err := DistanceCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.15 {
+		t.Errorf("dcor(independent) = %v, expected near 0", d)
+	}
+}
+
+func TestDistanceCorrelationErrors(t *testing.T) {
+	if _, err := DistanceCorrelation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := DistanceCorrelation([]float64{1}, []float64{2}); err == nil {
+		t.Error("single observation accepted")
+	}
+	// constant sequence: zero distance variance, defined as 0
+	d, err := DistanceCorrelation([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if err != nil || d != 0 {
+		t.Errorf("constant sequence dcor = %v (%v)", d, err)
+	}
+}
+
+func TestDistanceCorrelationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 16 + rng.Intn(64)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.5*x[i] + rng.NormFloat64()
+		}
+		d, err := DistanceCorrelation(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d > 1+1e-9 {
+			t.Fatalf("dcor %v out of [0,1]", d)
+		}
+	}
+}
+
+func TestMeasureWithPermutationIdentity(t *testing.T) {
+	x := tensor.MustFromSlice([]float64{3, 1, 4, 1, 5, 9, 2, 6}, 8)
+	id := make([]int, 8)
+	for i := range id {
+		id[i] = i
+	}
+	perm, err := obfuscate.FromSlice(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MeasureWithPermutation(x, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("identity permutation leaks dcor %v, want 1 (no obfuscation)", d)
+	}
+}
+
+// TestTableVIShape reproduces the shape of the paper's Table VI: the
+// distance correlation between original and permuted tensors decreases
+// as the tensor length grows from 2^5 to 2^10 (we cap the length for
+// test speed; the harness runs the full sweep to 2^13).
+func TestTableVIShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var prev float64 = 2
+	for _, logN := range []int{5, 7, 9} {
+		n := 1 << logN
+		x := tensor.Zeros(n)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64()
+		}
+		d, err := MeasureMean(x, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("length 2^%d: dcor = %.4f", logN, d)
+		if d >= prev {
+			t.Errorf("dcor did not decrease at length 2^%d: %v >= %v", logN, d, prev)
+		}
+		if d > 0.5 {
+			t.Errorf("dcor %v unexpectedly high — obfuscation should weaken correlation", d)
+		}
+		prev = d
+	}
+}
+
+func TestMeasureMeanTrialsDefault(t *testing.T) {
+	x := tensor.MustFromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	if _, err := MeasureMean(x, 0); err != nil {
+		t.Errorf("zero trials should default to 1: %v", err)
+	}
+}

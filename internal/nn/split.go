@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+
+	"ppstream/internal/tensor"
+)
+
+// PrimitiveLayer is a merged primitive layer in the paper's Section IV-B
+// sense: a maximal run of adjacent same-kind primitive layers. Each
+// PrimitiveLayer maps to exactly one pipelined stage: linear primitive
+// layers execute on the model provider, non-linear ones on the data
+// provider.
+type PrimitiveLayer struct {
+	Index  int     // position in the merged network
+	Kind   Kind    // Linear or NonLinear (never Mixed)
+	Layers []Layer // the constituent layers, in order
+	// InShape and OutShape are the tensor shapes entering and leaving
+	// the merged layer, needed for obfuscation restore and partitioning.
+	InShape  tensor.Shape
+	OutShape tensor.Shape
+}
+
+// Name returns a readable identifier like "stage2-linear(conv1+bn1)".
+func (p *PrimitiveLayer) Name() string {
+	names := ""
+	for i, l := range p.Layers {
+		if i > 0 {
+			names += "+"
+		}
+		names += l.Name()
+	}
+	return fmt.Sprintf("stage%d-%s(%s)", p.Index, p.Kind, names)
+}
+
+// Forward applies all constituent layers in order.
+func (p *PrimitiveLayer) Forward(x *tensor.Dense) (*tensor.Dense, error) {
+	cur := x
+	for _, l := range p.Layers {
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: %s: %w", p.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// ElementWiseOnly reports whether every constituent non-linear layer is
+// element-wise (so the whole merged layer commutes with permutation).
+// SoftMax and MaxPool make this false.
+func (p *PrimitiveLayer) ElementWiseOnly() bool {
+	for _, l := range p.Layers {
+		if _, ok := l.(ElementWise); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Decompose expands a network's layers into primitive layers: each
+// linear/non-linear layer passes through, each mixed layer splits into
+// its linear and non-linear halves (Section IV-B).
+func Decompose(n *Network) ([]Layer, error) {
+	var out []Layer
+	for _, l := range n.Layers {
+		switch l.Kind() {
+		case Linear, NonLinear:
+			out = append(out, l)
+		case Mixed:
+			s, ok := l.(Splitter)
+			if !ok {
+				return nil, fmt.Errorf("nn: mixed layer %s does not implement Splitter", l.Name())
+			}
+			lin, non := s.Split()
+			if lin.Kind() != Linear || non.Kind() != NonLinear {
+				return nil, fmt.Errorf("nn: %s split into kinds %v/%v, want linear/non-linear", l.Name(), lin.Kind(), non.Kind())
+			}
+			out = append(out, lin, non)
+		default:
+			return nil, fmt.Errorf("nn: layer %s has unknown kind %v", l.Name(), l.Kind())
+		}
+	}
+	return out, nil
+}
+
+// Merge groups adjacent primitive layers of the same kind into merged
+// primitive layers (Section IV-B), computing the shape entering and
+// leaving each merged layer.
+//
+// Encapsulating one primitive layer per stage would serialize excessively,
+// while a single stage would co-locate linear and non-linear operations
+// and break privacy; merged layers are the paper's middle ground.
+func Merge(n *Network) ([]*PrimitiveLayer, error) {
+	prims, err := Decompose(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(prims) == 0 {
+		return nil, fmt.Errorf("nn: network %q has no primitive layers", n.ModelName)
+	}
+	var merged []*PrimitiveLayer
+	shape := n.InputShape
+	var cur *PrimitiveLayer
+	for _, l := range prims {
+		if cur == nil || l.Kind() != cur.Kind {
+			cur = &PrimitiveLayer{Index: len(merged), Kind: l.Kind(), InShape: shape.Clone()}
+			merged = append(merged, cur)
+		}
+		out, err := l.OutputShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("nn: merge at %s: %w", l.Name(), err)
+		}
+		cur.Layers = append(cur.Layers, l)
+		shape = out
+		cur.OutShape = shape.Clone()
+	}
+	return merged, nil
+}
+
+// CheckAlternating verifies the merged sequence alternates between linear
+// and non-linear kinds — the structural invariant of the PP-Stream
+// workflow (the collaboration protocol assumes a linear start and a
+// non-linear finish, Fig. 3).
+func CheckAlternating(merged []*PrimitiveLayer) error {
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Kind == merged[i-1].Kind {
+			return fmt.Errorf("nn: merged layers %d and %d share kind %v — merge invariant broken", i-1, i, merged[i].Kind)
+		}
+	}
+	return nil
+}
+
+// ProtocolShape validates the paper's workflow assumption: the network
+// starts with a linear primitive layer and ends with a non-linear one.
+func ProtocolShape(merged []*PrimitiveLayer) error {
+	if len(merged) < 2 {
+		return fmt.Errorf("nn: protocol needs at least one linear and one non-linear stage, got %d stage(s)", len(merged))
+	}
+	if merged[0].Kind != Linear {
+		return fmt.Errorf("nn: protocol requires the first primitive layer to be linear, got %v", merged[0].Kind)
+	}
+	if merged[len(merged)-1].Kind != NonLinear {
+		return fmt.Errorf("nn: protocol requires the last primitive layer to be non-linear, got %v", merged[len(merged)-1].Kind)
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package obfuscate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppstream/internal/tensor"
+)
+
+func TestNewSeededDeterministic(t *testing.T) {
+	a, err := NewSeeded(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSeeded(16, 42)
+	for i, v := range a.Forward() {
+		if b.Forward()[i] != v {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	c, _ := NewSeeded(16, 43)
+	same := true
+	for i, v := range a.Forward() {
+		if c.Forward()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutations")
+	}
+}
+
+func TestNewSeededValidation(t *testing.T) {
+	if _, err := NewSeeded(0, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := NewSeeded(-3, 1); err == nil {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice([]int{}); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	if _, err := FromSlice([]int{0, 2}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+	if _, err := FromSlice([]int{0, 0}); err == nil {
+		t.Error("non-bijective mapping accepted")
+	}
+	p, err := FromSlice([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestApplyInvertRoundTrip(t *testing.T) {
+	p, _ := NewSeeded(10, 7)
+	in := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	perm, err := Apply(p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Invert(p, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("round trip failed: %v -> %v -> %v", in, perm, back)
+		}
+	}
+}
+
+func TestApplyLengthMismatch(t *testing.T) {
+	p, _ := NewSeeded(4, 1)
+	if _, err := Apply(p, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted in Apply")
+	}
+	if _, err := Invert(p, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted in Invert")
+	}
+}
+
+// TestElementwiseCommutes verifies the core correctness argument of
+// Section III-C: for element-wise functions f, f(permute(x)) =
+// permute(f(x)), so ReLU/Sigmoid on obfuscated tensors is correct after
+// inverse obfuscation.
+func TestElementwiseCommutes(t *testing.T) {
+	p, _ := NewSeeded(32, 99)
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = float64(i) - 16
+	}
+	relu := func(v float64) float64 { return math.Max(0, v) }
+
+	perm, _ := Apply(p, x)
+	for i := range perm {
+		perm[i] = relu(perm[i])
+	}
+	viaProtocol, _ := Invert(p, perm)
+
+	for i := range x {
+		if viaProtocol[i] != relu(x[i]) {
+			t.Fatalf("element-wise op does not commute with permutation at %d", i)
+		}
+	}
+}
+
+func TestApplyTensorLexicographicOrder(t *testing.T) {
+	// Identity permutation: ApplyTensor must equal the row-major
+	// flattening described in Section III-C.
+	id := make([]int, 6)
+	for i := range id {
+		id[i] = i
+	}
+	p, _ := FromSlice(id)
+	tt := tensor.MustFromSlice([]int{1, 2, 3, 4, 5, 6}, 2, 3)
+	v, err := ApplyTensor(p, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Shape().Rank() != 1 {
+		t.Fatalf("obfuscated tensor must be rank 1, got %v", v.Shape())
+	}
+	for i, want := range []int{1, 2, 3, 4, 5, 6} {
+		if v.AtFlat(i) != want {
+			t.Fatalf("lexicographic order violated: %v", v.Data())
+		}
+	}
+}
+
+func TestApplyInvertTensorRoundTrip(t *testing.T) {
+	p, _ := NewSeeded(24, 5)
+	orig := tensor.New[int](2, 3, 4)
+	for i := 0; i < orig.Size(); i++ {
+		orig.SetFlat(i, i*i)
+	}
+	obf, err := ApplyTensor(p, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := InvertTensor(p, obf, orig.Shape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Shape().Equal(orig.Shape()) {
+		t.Fatalf("restored shape %v", back.Shape())
+	}
+	for i := 0; i < orig.Size(); i++ {
+		if back.AtFlat(i) != orig.AtFlat(i) {
+			t.Fatal("tensor round trip corrupted data")
+		}
+	}
+}
+
+func TestRoundsFIFO(t *testing.T) {
+	var r Rounds
+	p1, err := r.Next(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Next(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outstanding() != 2 {
+		t.Errorf("Outstanding = %d", r.Outstanding())
+	}
+	got1, err := r.Pop()
+	if err != nil || got1 != p1 {
+		t.Error("Pop did not return first permutation")
+	}
+	got2, _ := r.Pop()
+	if got2 != p2 {
+		t.Error("Pop did not return second permutation")
+	}
+	if _, err := r.Pop(); err == nil {
+		t.Error("Pop on empty Rounds succeeded")
+	}
+}
+
+func TestRoundsFreshSeeds(t *testing.T) {
+	// Two consecutive rounds of the same length should (overwhelmingly
+	// likely) produce different permutations — the paper requires fresh
+	// seeds per round.
+	var r Rounds
+	const n = 64
+	a, _ := r.Next(n)
+	b, _ := r.Next(n)
+	same := true
+	for i, v := range a.Forward() {
+		if b.Forward()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two rounds produced identical permutations")
+	}
+}
+
+// Property: Invert ∘ Apply is the identity for random permutations and
+// random data.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p, err := NewSeeded(len(raw), seed)
+		if err != nil {
+			return false
+		}
+		perm, err := Apply(p, raw)
+		if err != nil {
+			return false
+		}
+		back, err := Invert(p, perm)
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if back[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a permutation's forward mapping is always a bijection.
+func TestBijectionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p, err := NewSeeded(n, seed)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, j := range p.Forward() {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Ciphertext is a Paillier ciphertext: an element of Z_{n²}. Ciphertexts
+// are immutable; homomorphic operations return new values.
+type Ciphertext struct {
+	c *big.Int
+}
+
+// Value returns a copy of the ciphertext's ring element.
+func (ct *Ciphertext) Value() *big.Int { return new(big.Int).Set(ct.c) }
+
+// NewCiphertextFromValue wraps a ring element (e.g. received over the
+// network) into a Ciphertext, validating its range under the public key.
+func NewCiphertextFromValue(v *big.Int, pk *PublicKey) (*Ciphertext, error) {
+	if v == nil {
+		return nil, errors.New("paillier: nil ciphertext value")
+	}
+	if v.Sign() < 0 || v.Cmp(pk.N2) >= 0 {
+		return nil, errors.New("paillier: ciphertext out of range [0, n²)")
+	}
+	return &Ciphertext{c: new(big.Int).Set(v)}, nil
+}
+
+// UnsafeCiphertext wraps a raw ring element as a Ciphertext without
+// range validation. It exists for zero-copy plumbing inside the runtime
+// (thread-local views, wire decoding after validation); use
+// NewCiphertextFromValue for untrusted inputs.
+func UnsafeCiphertext(v *big.Int) *Ciphertext { return &Ciphertext{c: v} }
+
+// Encrypt encrypts a signed big integer message m, |m| < n/2, producing
+// c = (1 + m·n)·r^n mod n² for a fresh random unit r.
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	rn, err := pk.freshBlinding(random)
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptWithBlinding(m, rn)
+}
+
+// EncryptWithBlinding encrypts m re-using a precomputed blinding factor
+// r^n mod n² (see Pool). The blinding factor must be used at most once.
+func (pk *PublicKey) EncryptWithBlinding(m *big.Int, rn *big.Int) (*Ciphertext, error) {
+	return pk.encryptWithBlinding(m, rn)
+}
+
+func (pk *PublicKey) encryptWithBlinding(m, rn *big.Int) (*Ciphertext, error) {
+	enc, err := pk.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	// (1 + m·n) mod n²
+	c := new(big.Int).Mul(enc, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{c: c}, nil
+}
+
+// freshBlinding samples r uniform in Z_n* and returns r^n mod n².
+func (pk *PublicKey) freshBlinding(random io.Reader) (*big.Int, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling blinding: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) != 0 {
+			continue // astronomically unlikely: r shares a factor with n
+		}
+		return r.Exp(r, pk.N, pk.N2), nil
+	}
+}
+
+// encode maps a signed message into Z_n: non-negative messages map to
+// themselves, negative messages m to n + m. The message magnitude must be
+// below n/2 so decoding is unambiguous.
+func (pk *PublicKey) encode(m *big.Int) (*big.Int, error) {
+	halfN := new(big.Int).Rsh(pk.N, 1)
+	if new(big.Int).Abs(m).Cmp(halfN) >= 0 {
+		return nil, fmt.Errorf("paillier: message magnitude %d bits exceeds n/2 (%d-bit key)", m.BitLen(), pk.N.BitLen())
+	}
+	if m.Sign() >= 0 {
+		return new(big.Int).Set(m), nil
+	}
+	return new(big.Int).Add(pk.N, m), nil
+}
+
+// decode maps a Z_n residue back to a signed message.
+func (sk *PrivateKey) decode(m *big.Int) *big.Int {
+	if m.Cmp(sk.halfN) > 0 {
+		return new(big.Int).Sub(m, sk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// Decrypt recovers the signed message from a ciphertext using CRT-
+// accelerated decryption: work modulo p² and q² separately and recombine.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.c == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	if ct.c.Sign() < 0 || ct.c.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("paillier: ciphertext out of range")
+	}
+	// mp = L_p(c^{p−1} mod p²)·hp mod p
+	mp := new(big.Int).Exp(ct.c, sk.pMinus1, sk.p2)
+	mp = lFunc(mp, sk.P)
+	mp.Mul(mp, sk.hp)
+	mp.Mod(mp, sk.P)
+	// mq = L_q(c^{q−1} mod q²)·hq mod q
+	mq := new(big.Int).Exp(ct.c, sk.qMinus1, sk.q2)
+	mq = lFunc(mq, sk.Q)
+	mq.Mul(mq, sk.hq)
+	mq.Mod(mq, sk.Q)
+	// CRT: m = mq + q·((mp − mq)·q⁻¹ mod p)
+	m := new(big.Int).Sub(mp, mq)
+	m.Mul(m, sk.qInvP)
+	m.Mod(m, sk.P)
+	m.Mul(m, sk.Q)
+	m.Add(m, mq)
+	m.Mod(m, sk.N)
+	return sk.decode(m), nil
+}
+
+// DecryptInt64 decrypts and narrows to int64, failing if the plaintext
+// does not fit.
+func (sk *PrivateKey) DecryptInt64(ct *Ciphertext) (int64, error) {
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if !m.IsInt64() {
+		return 0, fmt.Errorf("paillier: plaintext %d bits overflows int64", m.BitLen())
+	}
+	return m.Int64(), nil
+}
+
+// EncryptInt64 encrypts a signed 64-bit message.
+func (pk *PublicKey) EncryptInt64(random io.Reader, m int64) (*Ciphertext, error) {
+	return pk.Encrypt(random, big.NewInt(m))
+}
+
+// Add homomorphically adds two ciphertexts: E(m1)·E(m2) mod n² (Eq. 1).
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.c, b.c)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{c: c}
+}
+
+// AddPlain homomorphically adds a plaintext constant to a ciphertext by
+// multiplying with the deterministic encryption (1 + k·n), which needs no
+// blinding because the sum's blinding carries over.
+func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	enc, err := pk.encode(k)
+	if err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(enc, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.N2)
+	c.Mul(c, a.c)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{c: c}, nil
+}
+
+// MulScalar homomorphically multiplies the plaintext by a signed scalar:
+// E(m)^w mod n² (Eq. 2). Negative scalars use the modular inverse of the
+// ciphertext, which exists because ciphertexts are units of Z_{n²}.
+func (pk *PublicKey) MulScalar(a *Ciphertext, w *big.Int) (*Ciphertext, error) {
+	if w.Sign() >= 0 {
+		return &Ciphertext{c: new(big.Int).Exp(a.c, w, pk.N2)}, nil
+	}
+	inv := new(big.Int).ModInverse(a.c, pk.N2)
+	if inv == nil {
+		return nil, errors.New("paillier: ciphertext not invertible (corrupted value)")
+	}
+	absW := new(big.Int).Neg(w)
+	return &Ciphertext{c: inv.Exp(inv, absW, pk.N2)}, nil
+}
+
+// MulScalarInt64 is MulScalar for int64 weights, the common case after
+// parameter scaling.
+func (pk *PublicKey) MulScalarInt64(a *Ciphertext, w int64) (*Ciphertext, error) {
+	return pk.MulScalar(a, big.NewInt(w))
+}
+
+// EncryptZero returns a fresh encryption of zero, useful as the
+// accumulator seed of a homomorphic dot product.
+func (pk *PublicKey) EncryptZero(random io.Reader) (*Ciphertext, error) {
+	return pk.Encrypt(random, big.NewInt(0))
+}
+
+// Rerandomize multiplies a ciphertext by a fresh encryption of zero so the
+// resulting ciphertext is unlinkable to the input while decrypting to the
+// same plaintext.
+func (pk *PublicKey) Rerandomize(random io.Reader, a *Ciphertext) (*Ciphertext, error) {
+	z, err := pk.EncryptZero(random)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, z), nil
+}

@@ -1,0 +1,166 @@
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Plaintext packing: multiple signed values share one ciphertext as
+// fixed-width limbs of the plaintext integer. Homomorphic addition then
+// adds all slots at once, and scalar multiplication by a shared constant
+// scales all slots — cutting the data provider's per-element encryption
+// cost, which Figure 1 shows dominates. Packing suits the protocol's
+// re-encryption step (step 2.3), where a whole activation vector is
+// encrypted with one destination (the next linear stage) and uniform
+// scale.
+//
+// Each slot holds a signed value in (−2^(width−1−guard), 2^(width−1−guard));
+// guard bits absorb carries from homomorphic additions: g guard bits
+// tolerate 2^g − 1 additions (or one scalar multiplication by |w| <
+// 2^g) without slot overflow.
+
+// Packing describes a slot layout.
+type Packing struct {
+	// Slots is the number of values per ciphertext.
+	Slots int
+	// Width is the bit width of one slot (including guard bits).
+	Width int
+	// Guard is the number of headroom bits reserved inside each slot.
+	Guard int
+}
+
+// NewPacking computes the maximal slot count for the key so that all
+// slots plus one sign slot fit under n/2.
+func NewPacking(pk *PublicKey, width, guard int) (*Packing, error) {
+	if width < 2 || guard < 0 || guard >= width {
+		return nil, fmt.Errorf("paillier: invalid packing width=%d guard=%d", width, guard)
+	}
+	// One extra slot of headroom keeps the signed decode unambiguous.
+	slots := (pk.N.BitLen() - 1 - width) / width
+	if slots < 1 {
+		return nil, fmt.Errorf("paillier: key too small for %d-bit slots", width)
+	}
+	return &Packing{Slots: slots, Width: width, Guard: guard}, nil
+}
+
+// MaxValue returns the largest magnitude a slot may hold at rest
+// (strictly below the bias 2^(width−1−guard)).
+func (p *Packing) MaxValue() int64 {
+	bits := p.Width - 1 - p.Guard
+	if bits >= 63 {
+		bits = 62
+	}
+	return (int64(1) << uint(bits)) - 1
+}
+
+// Pack encodes up to Slots signed values into one plaintext integer.
+// Each slot stores v + B with bias B = 2^(width−1−guard), so negative
+// values borrow nothing from neighbours and the guard bits absorb the
+// bias accumulation of homomorphic operations (k additions multiply the
+// bias by k; scalar multiplication by w multiplies it by w — both must
+// stay ≤ 2^guard). Unpack removes the accumulated bias. The returned
+// plaintext is always non-negative.
+func (p *Packing) Pack(vals []int64) (*big.Int, error) {
+	if len(vals) == 0 || len(vals) > p.Slots {
+		return nil, fmt.Errorf("paillier: pack %d values into %d slots", len(vals), p.Slots)
+	}
+	maxV := p.MaxValue()
+	out := new(big.Int)
+	bias := new(big.Int).Lsh(big.NewInt(1), uint(p.Width-1-p.Guard))
+	tmp := new(big.Int)
+	for i := len(vals) - 1; i >= 0; i-- {
+		v := vals[i]
+		if v > maxV || v < -maxV {
+			return nil, fmt.Errorf("paillier: value %d exceeds slot range ±%d", v, maxV)
+		}
+		out.Lsh(out, uint(p.Width))
+		tmp.SetInt64(v)
+		tmp.Add(tmp, bias)
+		out.Add(out, tmp)
+	}
+	return out, nil
+}
+
+// Unpack decodes count values from a packed plaintext produced by Pack
+// (possibly after adds additions and/or one scalar multiplication by
+// scalar; pass adds=0, scalar=1 for a fresh ciphertext). The caller must
+// know the homomorphic history because the per-slot bias accumulates:
+// after k additions of packed ciphertexts the bias is k+1 times the
+// base bias; after scalar multiplication by w it is w times.
+func (p *Packing) Unpack(packed *big.Int, count int, biasFactor int64) ([]int64, error) {
+	if count <= 0 || count > p.Slots {
+		return nil, fmt.Errorf("paillier: unpack %d values from %d slots", count, p.Slots)
+	}
+	if biasFactor <= 0 {
+		return nil, errors.New("paillier: bias factor must be ≥ 1")
+	}
+	if packed.Sign() < 0 {
+		return nil, errors.New("paillier: packed plaintext must be non-negative")
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(p.Width))
+	mask.Sub(mask, big.NewInt(1))
+	bias := new(big.Int).Lsh(big.NewInt(1), uint(p.Width-1-p.Guard))
+	bias.Mul(bias, big.NewInt(biasFactor))
+	out := make([]int64, count)
+	work := new(big.Int).Set(packed)
+	slot := new(big.Int)
+	for i := 0; i < count; i++ {
+		slot.And(work, mask)
+		slot.Sub(slot, bias)
+		if !slot.IsInt64() {
+			return nil, fmt.Errorf("paillier: slot %d overflowed during homomorphic operations", i)
+		}
+		out[i] = slot.Int64()
+		work.Rsh(work, uint(p.Width))
+	}
+	return out, nil
+}
+
+// EncryptPacked packs and encrypts a value vector, returning the
+// ciphertexts (one per Slots-sized chunk) and the per-ciphertext counts.
+func (p *Packing) EncryptPacked(pk *PublicKey, random io.Reader, vals []int64) ([]*Ciphertext, []int, error) {
+	if len(vals) == 0 {
+		return nil, nil, errors.New("paillier: no values to pack")
+	}
+	var cts []*Ciphertext
+	var counts []int
+	for start := 0; start < len(vals); start += p.Slots {
+		end := start + p.Slots
+		if end > len(vals) {
+			end = len(vals)
+		}
+		m, err := p.Pack(vals[start:end])
+		if err != nil {
+			return nil, nil, err
+		}
+		ct, err := pk.Encrypt(random, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		cts = append(cts, ct)
+		counts = append(counts, end-start)
+	}
+	return cts, counts, nil
+}
+
+// DecryptPacked reverses EncryptPacked (biasFactor as in Unpack).
+func (p *Packing) DecryptPacked(sk *PrivateKey, cts []*Ciphertext, counts []int, biasFactor int64) ([]int64, error) {
+	if len(cts) != len(counts) {
+		return nil, fmt.Errorf("paillier: %d ciphertexts vs %d counts", len(cts), len(counts))
+	}
+	var out []int64
+	for i, ct := range cts {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := p.Unpack(m, counts[i], biasFactor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testPacking(t testing.TB) (*PrivateKey, *Packing) {
+	k := key(t.(*testing.T))
+	p, err := NewPacking(&k.PublicKey, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func TestNewPackingValidation(t *testing.T) {
+	k := key(t)
+	if _, err := NewPacking(&k.PublicKey, 1, 0); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewPacking(&k.PublicKey, 8, 8); err == nil {
+		t.Error("guard == width accepted")
+	}
+	if _, err := NewPacking(&k.PublicKey, 8, -1); err == nil {
+		t.Error("negative guard accepted")
+	}
+	// too-wide slots for the key
+	if _, err := NewPacking(&k.PublicKey, 300, 0); err == nil {
+		t.Error("oversized slots accepted")
+	}
+	p, err := NewPacking(&k.PublicKey, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slots < 2 {
+		t.Errorf("only %d slots on a %d-bit key", p.Slots, k.Bits())
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	_, p := testPacking(t)
+	vals := []int64{0, 1, -1, 30000, -30000, 12345}
+	packed, err := p.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unpack(packed, len(vals), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Errorf("slot %d: %d -> %d", i, v, got[i])
+		}
+	}
+}
+
+func TestPackRejectsOutOfRange(t *testing.T) {
+	_, p := testPacking(t)
+	big := p.MaxValue() + 1
+	if _, err := p.Pack([]int64{big}); err == nil {
+		t.Error("over-range value accepted")
+	}
+	if _, err := p.Pack([]int64{-big}); err == nil {
+		t.Error("under-range value accepted")
+	}
+	if _, err := p.Pack(nil); err == nil {
+		t.Error("empty pack accepted")
+	}
+	many := make([]int64, p.Slots+1)
+	if _, err := p.Pack(many); err == nil {
+		t.Error("too many values accepted")
+	}
+}
+
+// TestPackedHomomorphicAdd: one homomorphic addition adds every slot.
+func TestPackedHomomorphicAdd(t *testing.T) {
+	k, p := testPacking(t)
+	a := []int64{10, -20, 30}
+	b := []int64{1, 2, -3}
+	ma, _ := p.Pack(a)
+	mb, _ := p.Pack(b)
+	ca, err := k.PublicKey.Encrypt(rand.Reader, ma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := k.PublicKey.Encrypt(rand.Reader, mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := k.PublicKey.Add(ca, cb)
+	m, err := k.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two packed plaintexts added: bias factor 2
+	got, err := p.Unpack(m, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if got[i] != a[i]+b[i] {
+			t.Errorf("slot %d: %d + %d = %d", i, a[i], b[i], got[i])
+		}
+	}
+}
+
+// TestPackedScalarMul: scalar multiplication scales every slot.
+func TestPackedScalarMul(t *testing.T) {
+	k, p := testPacking(t)
+	vals := []int64{7, -9, 100}
+	const w = 5
+	m, _ := p.Pack(vals)
+	ct, err := k.PublicKey.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := k.PublicKey.MulScalarInt64(ct, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := k.Decrypt(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unpack(dec, len(vals), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != w*v {
+			t.Errorf("slot %d: %d·%d = %d", i, w, v, got[i])
+		}
+	}
+}
+
+func TestEncryptPackedRoundTrip(t *testing.T) {
+	k, p := testPacking(t)
+	// more values than one ciphertext holds
+	vals := make([]int64, p.Slots*2+3)
+	for i := range vals {
+		vals[i] = int64(i*31 - 500)
+	}
+	cts, counts, err := p.EncryptPacked(&k.PublicKey, rand.Reader, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts) != 3 {
+		t.Fatalf("%d ciphertexts for %d values over %d slots", len(cts), len(vals), p.Slots)
+	}
+	got, err := p.DecryptPacked(k, cts, counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Errorf("value %d: %d -> %d", i, v, got[i])
+		}
+	}
+	if _, _, err := p.EncryptPacked(&k.PublicKey, rand.Reader, nil); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := p.DecryptPacked(k, cts, counts[:1], 1); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+// TestPackedEncryptionIsCheaper demonstrates the optimization: packing
+// reduces the number of public-key encryptions by ~Slots×.
+func TestPackedEncryptionIsCheaper(t *testing.T) {
+	k, p := testPacking(t)
+	vals := make([]int64, p.Slots*4)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	cts, _, err := p.EncryptPacked(&k.PublicKey, rand.Reader, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cts)*p.Slots < len(vals) {
+		t.Fatal("packing lost values")
+	}
+	if len(cts) >= len(vals)/2 {
+		t.Errorf("packing produced %d ciphertexts for %d values — no saving", len(cts), len(vals))
+	}
+}
+
+// Property: pack/unpack round-trips for random in-range vectors.
+func TestPackingProperty(t *testing.T) {
+	_, p := testPacking(t)
+	maxV := p.MaxValue()
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > p.Slots {
+			raw = raw[:p.Slots]
+		}
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r) % maxV
+		}
+		packed, err := p.Pack(vals)
+		if err != nil {
+			return false
+		}
+		got, err := p.Unpack(packed, len(vals), 1)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

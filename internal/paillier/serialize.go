@@ -1,0 +1,98 @@
+package paillier
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// wireKey is the gob form of keys: the public key is just n; the private
+// key adds the factors (all precomputation rebuilds on load).
+type wireKey struct {
+	N    []byte
+	P, Q []byte // private key only
+}
+
+// SavePublicKey writes the public key in gob format, e.g. for shipping
+// to the model provider at session setup.
+func SavePublicKey(pk *PublicKey, w io.Writer) error {
+	if err := pk.Validate(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(wireKey{N: pk.N.Bytes()})
+}
+
+// LoadPublicKey reads a public key written by SavePublicKey.
+func LoadPublicKey(r io.Reader) (*PublicKey, error) {
+	var wk wireKey
+	if err := gob.NewDecoder(r).Decode(&wk); err != nil {
+		return nil, err
+	}
+	if len(wk.N) == 0 {
+		return nil, errors.New("paillier: empty public key")
+	}
+	n := new(big.Int).SetBytes(wk.N)
+	pk := &PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+	if err := pk.Validate(); err != nil {
+		return nil, err
+	}
+	return pk, nil
+}
+
+// SavePrivateKey writes the private key (factors) in gob format. The
+// data provider persists this; it must never reach the model provider.
+func SavePrivateKey(sk *PrivateKey, w io.Writer) error {
+	if sk == nil || sk.P == nil || sk.Q == nil {
+		return errors.New("paillier: incomplete private key")
+	}
+	return gob.NewEncoder(w).Encode(wireKey{N: sk.N.Bytes(), P: sk.P.Bytes(), Q: sk.Q.Bytes()})
+}
+
+// LoadPrivateKey reads a private key written by SavePrivateKey,
+// rebuilding all CRT precomputation and validating the factorization.
+func LoadPrivateKey(r io.Reader) (*PrivateKey, error) {
+	var wk wireKey
+	if err := gob.NewDecoder(r).Decode(&wk); err != nil {
+		return nil, err
+	}
+	if len(wk.P) == 0 || len(wk.Q) == 0 {
+		return nil, errors.New("paillier: serialized key has no factors")
+	}
+	p := new(big.Int).SetBytes(wk.P)
+	q := new(big.Int).SetBytes(wk.Q)
+	sk, err := NewPrivateKeyFromPrimes(p, q)
+	if err != nil {
+		return nil, err
+	}
+	if len(wk.N) > 0 {
+		n := new(big.Int).SetBytes(wk.N)
+		if n.Cmp(sk.N) != 0 {
+			return nil, errors.New("paillier: serialized modulus does not match factors")
+		}
+	}
+	return sk, nil
+}
+
+// DecryptNoCRT is the textbook decryption m = L(c^λ mod n²)·μ mod n
+// without the CRT speed-up. It exists as the ablation baseline for the
+// CRT optimization (see bench_test.go) and as an independent
+// cross-check of Decrypt.
+func (sk *PrivateKey) DecryptNoCRT(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.c == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	// λ = lcm(p−1, q−1); μ = λ⁻¹ mod n (g = n+1 variant).
+	gcd := new(big.Int).GCD(nil, nil, sk.pMinus1, sk.qMinus1)
+	lambda := new(big.Int).Mul(sk.pMinus1, sk.qMinus1)
+	lambda.Div(lambda, gcd)
+	mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, sk.N), sk.N)
+	if mu == nil {
+		return nil, errors.New("paillier: λ not invertible mod n")
+	}
+	u := new(big.Int).Exp(ct.c, lambda, sk.N2)
+	m := lFunc(u, sk.N)
+	m.Mul(m, mu)
+	m.Mod(m, sk.N)
+	return sk.decode(m), nil
+}

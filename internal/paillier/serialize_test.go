@@ -1,0 +1,95 @@
+package paillier
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestPublicKeySerializationRoundTrip(t *testing.T) {
+	k := key(t)
+	var buf bytes.Buffer
+	if err := SavePublicKey(&k.PublicKey, &buf); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := LoadPublicKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.N.Cmp(k.N) != 0 || pk.N2.Cmp(k.N2) != 0 {
+		t.Error("public key corrupted")
+	}
+	// The loaded key must encrypt values the original key decrypts.
+	ct, err := pk.EncryptInt64(rand.Reader, -777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.DecryptInt64(ct)
+	if err != nil || got != -777 {
+		t.Errorf("round-trip encryption decrypts to %d (%v)", got, err)
+	}
+}
+
+func TestPrivateKeySerializationRoundTrip(t *testing.T) {
+	k := key(t)
+	var buf bytes.Buffer
+	if err := SavePrivateKey(k, &buf); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := LoadPrivateKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.PublicKey.EncryptInt64(rand.Reader, 424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.DecryptInt64(ct)
+	if err != nil || got != 424242 {
+		t.Errorf("loaded key decrypts to %d (%v)", got, err)
+	}
+}
+
+func TestLoadKeyRejectsGarbage(t *testing.T) {
+	if _, err := LoadPublicKey(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage public key accepted")
+	}
+	if _, err := LoadPrivateKey(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage private key accepted")
+	}
+	// public key stream into private loader: must fail (no factors)
+	k := key(t)
+	var buf bytes.Buffer
+	if err := SavePublicKey(&k.PublicKey, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPrivateKey(&buf); err == nil {
+		t.Error("factor-less private key accepted")
+	}
+}
+
+// TestDecryptNoCRTAgrees cross-checks the CRT fast path against the
+// textbook decryption.
+func TestDecryptNoCRTAgrees(t *testing.T) {
+	k := key(t)
+	for _, m := range []int64{0, 1, -1, 9999999, -123456789} {
+		ct, err := k.PublicKey.EncryptInt64(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := k.DecryptNoCRT(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(slow) != 0 {
+			t.Errorf("m=%d: CRT %v vs textbook %v", m, fast, slow)
+		}
+	}
+	if _, err := k.DecryptNoCRT(nil); err == nil {
+		t.Error("nil ciphertext accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package paillier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"ppstream/internal/tensor"
+)
+
+// CipherTensor is a tensor of Paillier ciphertexts — the encrypted form of
+// the data provider's activations that flows through the model provider's
+// linear stages.
+type CipherTensor = tensor.Tensor[*Ciphertext]
+
+// EncryptTensor encrypts an int64 tensor element-wise, parallelizing
+// across workers goroutines (0 means GOMAXPROCS). Encryption dominates the
+// data provider's cost (paper Fig. 1), so this is the hottest path on that
+// side.
+func EncryptTensor(pk *PublicKey, random io.Reader, t *tensor.Tensor[int64], workers int) (*CipherTensor, error) {
+	out := tensor.New[*Ciphertext](t.Shape()...)
+	in, od := t.Data(), out.Data()
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(in), workers, func(i int) {
+		ct, err := pk.EncryptInt64(random, in[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[i] = ct
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DecryptTensor decrypts a ciphertext tensor to int64 values in parallel.
+func DecryptTensor(sk *PrivateKey, t *CipherTensor, workers int) (*tensor.Tensor[int64], error) {
+	out := tensor.New[int64](t.Shape()...)
+	in, od := t.Data(), out.Data()
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(in), workers, func(i int) {
+		if in[i] == nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("paillier: nil ciphertext at offset %d", i)
+			}
+			mu.Unlock()
+			return
+		}
+		v, err := sk.DecryptInt64(in[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[i] = v
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DecryptTensorBig decrypts a ciphertext tensor to arbitrary-precision
+// signed integers in parallel. Linear stages raise plaintext magnitudes
+// beyond int64 at large scaling factors, so the protocol uses this
+// variant on the data provider.
+func DecryptTensorBig(sk *PrivateKey, t *CipherTensor, workers int) (*tensor.Tensor[*big.Int], error) {
+	out := tensor.New[*big.Int](t.Shape()...)
+	in, od := t.Data(), out.Data()
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(in), workers, func(i int) {
+		if in[i] == nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("paillier: nil ciphertext at offset %d", i)
+			}
+			mu.Unlock()
+			return
+		}
+		v, err := sk.Decrypt(in[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[i] = v
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DotScaled computes the encryption of Σ_i w_i·m_i + b from the encrypted
+// inputs E(m_i), integer weights w_i, and integer bias b — the paper's
+// Eq. (3): Π_i E(m_i)^{w_i} · (1 + b·n) mod n².
+//
+// The bias term uses the deterministic plaintext embedding; the product's
+// blinding comes from the input ciphertexts, which the data provider
+// freshly randomized.
+func DotScaled(pk *PublicKey, xs []*Ciphertext, ws []int64, bias int64) (*Ciphertext, error) {
+	if len(xs) != len(ws) {
+		return nil, fmt.Errorf("paillier: dot length mismatch: %d inputs vs %d weights", len(xs), len(ws))
+	}
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	for i, x := range xs {
+		if x == nil {
+			return nil, fmt.Errorf("paillier: nil ciphertext at %d", i)
+		}
+		w := ws[i]
+		if w == 0 {
+			continue
+		}
+		var term *big.Int
+		if w > 0 {
+			term = tmp.Exp(x.c, big.NewInt(w), pk.N2)
+		} else {
+			inv := new(big.Int).ModInverse(x.c, pk.N2)
+			if inv == nil {
+				return nil, errors.New("paillier: ciphertext not invertible")
+			}
+			term = tmp.Set(inv.Exp(inv, big.NewInt(-w), pk.N2))
+		}
+		acc.Mul(acc, term)
+		acc.Mod(acc, pk.N2)
+	}
+	out := &Ciphertext{c: acc}
+	if bias != 0 {
+		var err error
+		out, err = pk.AddPlain(out, big.NewInt(bias))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MatVecScaled evaluates an encrypted fully-connected layer: for weight
+// matrix W ([out][in] int64), encrypted input x, and bias b, returns the
+// encrypted output vector of length out. Rows are computed in parallel.
+func MatVecScaled(pk *PublicKey, w [][]int64, bias []int64, x []*Ciphertext, workers int) ([]*Ciphertext, error) {
+	outN := len(w)
+	if bias != nil && len(bias) != outN {
+		return nil, fmt.Errorf("paillier: bias length %d != rows %d", len(bias), outN)
+	}
+	out := make([]*Ciphertext, outN)
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(outN, workers, func(o int) {
+		if len(w[o]) != len(x) {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("paillier: row %d length %d != input %d", o, len(w[o]), len(x))
+			}
+			mu.Unlock()
+			return
+		}
+		var b int64
+		if bias != nil {
+			b = bias[o]
+		}
+		ct, err := DotScaled(pk, x, w[o], b)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[o] = ct
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// parallelFor runs f(i) for i in [0,n) across the given number of worker
+// goroutines (0 or negative means GOMAXPROCS), blocking until done.
+func parallelFor(n, workers int, f func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+// Package partition implements PP-Stream's tensor partitioning
+// (paper Section IV-D). A stage with y threads evenly splits the output
+// tensor's elements across threads (output tensor partitioning); for
+// convolution operations each thread additionally receives only the
+// union of receptive fields its output elements read — a sub-tensor of
+// the input — instead of the whole tensor (input tensor partitioning),
+// cutting the stage-to-thread communication volume.
+//
+// Execute materializes each thread's input view as an actual copy of the
+// ciphertexts it receives, so the communication saving is physically
+// exercised (copied bytes), not just accounted: with partitioning off,
+// every thread copies the entire input tensor, as in the paper's
+// baseline where "the whole input tensor is fed to each thread".
+package partition
+
+import (
+	"fmt"
+
+	"sort"
+	"sync"
+
+	"ppstream/internal/paillier"
+	"ppstream/internal/qnn"
+	"ppstream/internal/tensor"
+)
+
+// Range is a half-open output element interval assigned to one thread.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of elements in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// SplitOutputs evenly partitions n output elements over t threads; the
+// first n%t threads receive one extra element. Empty ranges are omitted,
+// so at most min(n,t) tasks return.
+func SplitOutputs(n, t int) []Range {
+	if n <= 0 || t <= 0 {
+		return nil
+	}
+	if t > n {
+		t = n
+	}
+	base, extra := n/t, n%t
+	out := make([]Range, 0, t)
+	lo := 0
+	for i := 0; i < t; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// Task describes one thread's work for an op: its output range plus the
+// input offsets it must receive (nil = the whole input tensor).
+type Task struct {
+	Range
+	// Inputs is the sorted set of flat input offsets this thread needs;
+	// nil means the entire input is required.
+	Inputs []int
+}
+
+// PlanOp computes the per-thread tasks for an op, with or without input
+// tensor partitioning. With partitioning enabled, the task's Inputs is
+// the union of the op's per-element needs over the thread's range; ops
+// that read everything (fully-connected) keep Inputs nil — they support
+// only output partitioning, as the paper notes.
+func PlanOp(op qnn.ElementOp, in tensor.Shape, threads int, inputPartition bool) ([]Task, error) {
+	n, err := op.OutSize(in)
+	if err != nil {
+		return nil, err
+	}
+	ranges := SplitOutputs(n, threads)
+	tasks := make([]Task, len(ranges))
+	for i, r := range ranges {
+		tasks[i] = Task{Range: r}
+		if !inputPartition {
+			continue
+		}
+		needAll := false
+		seen := map[int]bool{}
+		for idx := r.Lo; idx < r.Hi && !needAll; idx++ {
+			needs := op.InputNeeds(in, idx)
+			if needs == nil {
+				needAll = true
+				break
+			}
+			for _, off := range needs {
+				seen[off] = true
+			}
+		}
+		if needAll {
+			continue // whole input
+		}
+		inputs := make([]int, 0, len(seen))
+		for off := range seen {
+			inputs = append(inputs, off)
+		}
+		sort.Ints(inputs)
+		tasks[i].Inputs = inputs
+	}
+	return tasks, nil
+}
+
+// CommStats accounts for the stage-to-thread communication of one op
+// execution, in ciphertext elements.
+type CommStats struct {
+	// ElementsSent counts ciphertexts copied into thread-local views.
+	ElementsSent int
+	// ElementsTotal is threads × input size: what the no-partitioning
+	// baseline sends.
+	ElementsTotal int
+	Threads       int
+}
+
+// Saved returns the fraction of communication avoided.
+func (c CommStats) Saved() float64 {
+	if c.ElementsTotal == 0 {
+		return 0
+	}
+	return 1 - float64(c.ElementsSent)/float64(c.ElementsTotal)
+}
+
+// Execute runs one quantized op over threads with the given partitioning
+// mode and returns the output ciphertext tensor at exponent
+// inExp+op.ScaleSteps(), plus the communication accounting. Each thread
+// receives a physically copied view of the input elements its task
+// needs.
+func Execute(pk *paillier.PublicKey, op qnn.ElementOp, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, CommStats, error) {
+	in := x.Shape()
+	tasks, err := PlanOp(op, in, threads, inputPartition)
+	if err != nil {
+		return nil, CommStats{}, err
+	}
+	outShape, err := op.OutShape(in)
+	if err != nil {
+		return nil, CommStats{}, err
+	}
+	out := tensor.New[*paillier.Ciphertext](outShape...)
+	od := out.Data()
+	xd := x.Flatten().Data()
+
+	stats := CommStats{Threads: len(tasks), ElementsTotal: len(tasks) * len(xd)}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(tasks))
+	var statsMu sync.Mutex
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task Task) {
+			defer wg.Done()
+			// Materialize the thread's input view: copy the ciphertext
+			// values it receives (the "communication" of Section IV-D).
+			var get func(int) *paillier.Ciphertext
+			var copied int
+			if task.Inputs == nil {
+				view := make([]*paillier.Ciphertext, len(xd))
+				for i, c := range xd {
+					view[i] = copyCiphertext(c)
+				}
+				copied = len(xd)
+				get = func(i int) *paillier.Ciphertext { return view[i] }
+			} else {
+				view := make(map[int]*paillier.Ciphertext, len(task.Inputs))
+				for _, off := range task.Inputs {
+					view[off] = copyCiphertext(xd[off])
+				}
+				copied = len(task.Inputs)
+				get = func(i int) *paillier.Ciphertext {
+					c, ok := view[i]
+					if !ok {
+						panic(fmt.Sprintf("partition: thread read unplanned input offset %d", i))
+					}
+					return c
+				}
+			}
+			statsMu.Lock()
+			stats.ElementsSent += copied
+			statsMu.Unlock()
+			for idx := task.Lo; idx < task.Hi; idx++ {
+				ct, err := op.ComputeElement(pk, get, in, idx, inExp)
+				if err != nil {
+					errCh <- fmt.Errorf("partition: op %s element %d: %w", op.Name(), idx, err)
+					return
+				}
+				od[idx] = ct
+			}
+		}(task)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// ExecuteStage runs a sequence of ops through Execute, threading the
+// scale exponent and summing communication stats.
+func ExecuteStage(pk *paillier.PublicKey, ops []qnn.Op, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, int, []CommStats, error) {
+	cur, exp := x, inExp
+	stats := make([]CommStats, 0, len(ops))
+	for _, op := range ops {
+		eop, ok := op.(qnn.ElementOp)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("partition: op %s does not support element-wise execution", op.Name())
+		}
+		out, st, err := Execute(pk, eop, cur, exp, threads, inputPartition)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		stats = append(stats, st)
+		cur = out
+		exp += op.ScaleSteps()
+	}
+	return cur, exp, stats, nil
+}
+
+// copyCiphertext deep-copies a ciphertext, modelling the bytes a thread
+// receives from its stage.
+func copyCiphertext(c *paillier.Ciphertext) *paillier.Ciphertext {
+	if c == nil {
+		return nil
+	}
+	return paillier.UnsafeCiphertext(c.Value()) // Value already copies
+}

@@ -1,0 +1,577 @@
+// Package protocol implements PP-Stream's hybrid privacy-preserving
+// inference workflow (paper Section III, Figure 3) between the two
+// honest-but-curious parties:
+//
+//   - the model provider executes all linear operations homomorphically
+//     over Paillier ciphertexts and obfuscates tensors (random position
+//     permutation) before they return to the data provider;
+//   - the data provider encrypts its input, and for each non-linear stage
+//     decrypts the (permuted) tensor, applies the element-wise non-linear
+//     functions in plaintext, re-encrypts, and returns it.
+//
+// The last round skips obfuscation so the data provider can evaluate the
+// final position-dependent SoftMax and read the inference result
+// (Section III-A); the model parameters of the last linear stage remain
+// safe because the data provider never sees that stage's de-obfuscated
+// input (Section III-D).
+package protocol
+
+import (
+	"fmt"
+	"sync"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/obfuscate"
+	"ppstream/internal/paillier"
+	"ppstream/internal/partition"
+	"ppstream/internal/qnn"
+	"ppstream/internal/scaling"
+	"ppstream/internal/tensor"
+)
+
+// Envelope is the in-process message flowing between protocol stages: an
+// encrypted tensor plus its scale exponent, or the final plaintext
+// result.
+type Envelope struct {
+	// Req identifies the inference request.
+	Req uint64
+	// CT is the encrypted tensor (nil once Result is set). Between the
+	// model and data provider it is obfuscated except in the last round.
+	CT *paillier.CipherTensor
+	// Exp is the plaintext scale exponent: values are real·F^Exp.
+	Exp int
+	// Obfuscated records whether CT's element positions are permuted.
+	Obfuscated bool
+	// Result is the final inference output (last stage only).
+	Result *tensor.Dense
+}
+
+// Config parameterizes protocol construction.
+type Config struct {
+	// Factor is the parameter scaling factor F (from scaling.SelectFactor).
+	Factor int64
+	// Workers is the default thread count used by stages when no
+	// per-stage plan overrides it.
+	Workers int
+	// Pool, when non-nil, provides precomputed encryption blinding for
+	// the data provider's re-encryption step.
+	Pool *paillier.Pool
+}
+
+// Protocol binds a model provider and a data provider for one scaled
+// network. Stages alternate linear (model provider) and non-linear (data
+// provider), matching the merged primitive layers.
+type Protocol struct {
+	Model *ModelProvider
+	Data  *DataProvider
+	// Merged is the alternating stage list the roles were built from.
+	Merged []*nn.PrimitiveLayer
+	cfg    Config
+}
+
+// validateWorkflow merges the network and checks the workflow's
+// structural requirements (alternation, linear start, non-linear finish,
+// element-wise intermediate non-linear stages).
+func validateWorkflow(net *nn.Network) ([]*nn.PrimitiveLayer, error) {
+	merged, err := nn.Merge(net)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.CheckAlternating(merged); err != nil {
+		return nil, err
+	}
+	if err := nn.ProtocolShape(merged); err != nil {
+		return nil, err
+	}
+	// Middle non-linear stages run on permuted tensors: they must be
+	// element-wise (Section III-C). The final stage may contain SoftMax.
+	for i, m := range merged {
+		if m.Kind == nn.NonLinear && i != len(merged)-1 && !m.ElementWiseOnly() {
+			return nil, fmt.Errorf("protocol: intermediate non-linear stage %s contains position-dependent operations; replace MaxPool (nn.ReplaceMaxPool) or move SoftMax to the last layer", m.Name())
+		}
+	}
+	return merged, nil
+}
+
+// BuildModelProvider constructs the model-provider role alone: it needs
+// the network (its own weights) and only the data provider's PUBLIC key.
+// This is the entry point for a real split deployment (cmd/ppserver).
+func BuildModelProvider(net *nn.Network, pk *paillier.PublicKey, cfg Config) (*ModelProvider, error) {
+	if cfg.Factor <= 0 {
+		return nil, fmt.Errorf("protocol: scaling factor %d must be positive", cfg.Factor)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if err := pk.Validate(); err != nil {
+		return nil, err
+	}
+	merged, err := validateWorkflow(net)
+	if err != nil {
+		return nil, err
+	}
+	mp := &ModelProvider{
+		pk:      pk,
+		factor:  cfg.Factor,
+		workers: cfg.Workers,
+		state:   map[uint64]*obfuscate.Rounds{},
+	}
+	for _, m := range merged {
+		if m.Kind != nn.Linear {
+			continue
+		}
+		ops, err := qnn.QuantizeStage(m, cfg.Factor)
+		if err != nil {
+			return nil, err
+		}
+		mp.stages = append(mp.stages, &linearStage{
+			ops:      ops,
+			inShape:  m.InShape.Clone(),
+			outShape: m.OutShape.Clone(),
+			threads:  cfg.Workers,
+		})
+	}
+	if len(mp.stages) == 0 {
+		return nil, fmt.Errorf("protocol: network has no linear stages")
+	}
+	return mp, nil
+}
+
+// BuildDataProvider constructs the data-provider role alone: it needs
+// the private key and the network ARCHITECTURE. Linear-layer weights are
+// never read — only layer kinds and shapes — so the data provider can be
+// built from an architecture skeleton without the vendor's parameters.
+func BuildDataProvider(net *nn.Network, sk *paillier.PrivateKey, cfg Config) (*DataProvider, error) {
+	if cfg.Factor <= 0 {
+		return nil, fmt.Errorf("protocol: scaling factor %d must be positive", cfg.Factor)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	merged, err := validateWorkflow(net)
+	if err != nil {
+		return nil, err
+	}
+	dp := &DataProvider{
+		sk:      sk,
+		factor:  cfg.Factor,
+		workers: cfg.Workers,
+		pool:    cfg.Pool,
+	}
+	for _, m := range merged {
+		if m.Kind != nn.NonLinear {
+			continue
+		}
+		dp.stages = append(dp.stages, &nonLinearStage{
+			layers:   m.Layers,
+			inShape:  m.InShape.Clone(),
+			outShape: m.OutShape.Clone(),
+			threads:  cfg.Workers,
+		})
+	}
+	if len(dp.stages) == 0 {
+		return nil, fmt.Errorf("protocol: network has no non-linear stages")
+	}
+	return dp, nil
+}
+
+// Build validates the network's protocol shape, quantizes its linear
+// stages at cfg.Factor, and wires the two roles in one process (tests,
+// the CipherBase baseline, and the single-host engine). The private key
+// stays inside the data provider; the model provider receives only the
+// public key.
+func Build(net *nn.Network, key *paillier.PrivateKey, cfg Config) (*Protocol, error) {
+	mp, err := BuildModelProvider(net, &key.PublicKey, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := BuildDataProvider(net, key, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(mp.stages) != len(dp.stages) {
+		return nil, fmt.Errorf("protocol: %d linear vs %d non-linear stages — workflow requires pairs", len(mp.stages), len(dp.stages))
+	}
+	merged, err := validateWorkflow(net)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Protocol{Model: mp, Data: dp, Merged: merged, cfg: cfg}, nil
+}
+
+// BuildAuto selects the scaling factor with the paper's algorithm on the
+// provided training subset, then builds the protocol.
+func BuildAuto(net *nn.Network, key *paillier.PrivateKey, xs []*tensor.Dense, ys []int, cfg Config) (*Protocol, *scaling.Result, error) {
+	res, err := scaling.SelectFactor(net, xs, ys, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Factor = res.Factor
+	p, err := Build(net, key, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, res, nil
+}
+
+// Rounds returns the number of linear/non-linear round pairs.
+func (p *Protocol) Rounds() int { return len(p.Model.stages) }
+
+// Infer runs the full collaborative workflow sequentially for one input:
+// the reference execution used by tests, the CipherBase baseline, and
+// offline profiling. The streaming engine (internal/core) runs the same
+// per-stage methods inside pipeline stages.
+func (p *Protocol) Infer(req uint64, x *tensor.Dense) (*tensor.Dense, error) {
+	env, err := p.Data.Encrypt(req, x)
+	if err != nil {
+		return nil, err
+	}
+	rounds := p.Rounds()
+	for r := 0; r < rounds; r++ {
+		env, err = p.Model.ProcessLinear(r, env)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: round %d linear: %w", r, err)
+		}
+		env, err = p.Data.ProcessNonLinear(r, env)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: round %d non-linear: %w", r, err)
+		}
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("protocol: workflow ended without a result")
+	}
+	p.Model.Forget(req)
+	return env.Result, nil
+}
+
+// linearStage is one model-provider stage: quantized ops plus runtime
+// configuration.
+type linearStage struct {
+	ops      []qnn.Op
+	inShape  tensor.Shape
+	outShape tensor.Shape
+	// threads is y_i from the resource allocation plan.
+	threads int
+	// inputPartition enables input tensor partitioning (conv stages).
+	inputPartition bool
+	// usePartitionExec routes execution through the partitioning
+	// executor (physical per-thread input views); otherwise the stage
+	// uses the shared-memory fast path.
+	usePartitionExec bool
+}
+
+// ModelProvider executes linear stages homomorphically and manages
+// per-request obfuscation state. It never sees the private key.
+type ModelProvider struct {
+	pk      *paillier.PublicKey
+	factor  int64
+	workers int
+	stages  []*linearStage
+
+	mu      sync.Mutex
+	state   map[uint64]*obfuscate.Rounds
+	limiter *RateLimiter
+}
+
+// PublicKey exposes the provider's encryption key.
+func (mp *ModelProvider) PublicKey() *paillier.PublicKey { return mp.pk }
+
+// Stages returns the number of linear stages.
+func (mp *ModelProvider) Stages() int { return len(mp.stages) }
+
+// SetStagePlan overrides stage r's thread count and partitioning mode
+// (from the load-balanced allocation plan).
+func (mp *ModelProvider) SetStagePlan(r, threads int, inputPartition, usePartitionExec bool) error {
+	if r < 0 || r >= len(mp.stages) {
+		return fmt.Errorf("protocol: no linear stage %d", r)
+	}
+	if threads < 1 {
+		return fmt.Errorf("protocol: stage %d needs ≥ 1 thread", r)
+	}
+	mp.stages[r].threads = threads
+	mp.stages[r].inputPartition = inputPartition
+	mp.stages[r].usePartitionExec = usePartitionExec
+	return nil
+}
+
+func (mp *ModelProvider) rounds(req uint64) *obfuscate.Rounds {
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	r, ok := mp.state[req]
+	if !ok {
+		r = &obfuscate.Rounds{}
+		mp.state[req] = r
+	}
+	return r
+}
+
+// Forget drops per-request obfuscation state once a request completes.
+func (mp *ModelProvider) Forget(req uint64) {
+	mp.mu.Lock()
+	delete(mp.state, req)
+	mp.mu.Unlock()
+}
+
+// ProcessLinear executes round r's steps at the model provider: inverse
+// obfuscation (rounds > 0), the homomorphic linear operations, and
+// obfuscation (except the last round) — steps 1.3–1.4, 2.5–2.7, and
+// 3.2–3.3 of Figure 3.
+func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) {
+	if r < 0 || r >= len(mp.stages) {
+		return nil, fmt.Errorf("protocol: no linear stage %d", r)
+	}
+	st := mp.stages[r]
+	ct := env.CT
+	if ct == nil {
+		return nil, fmt.Errorf("protocol: linear stage %d received no ciphertext", r)
+	}
+	if r == 0 {
+		if env.Obfuscated {
+			return nil, fmt.Errorf("protocol: first round input must not be obfuscated")
+		}
+		if err := mp.admit(); err != nil {
+			return nil, err
+		}
+	} else {
+		if !env.Obfuscated {
+			return nil, fmt.Errorf("protocol: round %d input must be obfuscated", r)
+		}
+		perm, err := mp.rounds(env.Req).Pop()
+		if err != nil {
+			return nil, err
+		}
+		restored, err := obfuscate.InvertTensor(perm, ct, st.inShape)
+		if err != nil {
+			return nil, err
+		}
+		ct = restored
+	}
+	if ct.Size() != st.inShape.Size() {
+		return nil, fmt.Errorf("protocol: linear stage %d input size %d, want %v", r, ct.Size(), st.inShape)
+	}
+	shaped, err := ct.Reshape(st.inShape...)
+	if err != nil {
+		return nil, err
+	}
+
+	var out *paillier.CipherTensor
+	var outExp int
+	if st.usePartitionExec {
+		out, outExp, _, err = executePartitioned(mp.pk, st, shaped, env.Exp)
+	} else {
+		out, outExp, err = qnn.ApplyStage(mp.pk, st.ops, shaped, env.Exp, st.threads)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	last := r == len(mp.stages)-1
+	next := &Envelope{Req: env.Req, Exp: outExp}
+	if last {
+		// Step 3.4: send without obfuscation so SoftMax can run.
+		next.CT = out
+		next.Obfuscated = false
+		return next, nil
+	}
+	perm, err := mp.rounds(env.Req).Next(out.Size())
+	if err != nil {
+		return nil, err
+	}
+	obf, err := obfuscate.ApplyTensor(perm, out)
+	if err != nil {
+		return nil, err
+	}
+	next.CT = obf
+	next.Obfuscated = true
+	return next, nil
+}
+
+// nonLinearStage is one data-provider stage.
+type nonLinearStage struct {
+	layers   []nn.Layer
+	inShape  tensor.Shape
+	outShape tensor.Shape
+	threads  int
+}
+
+// DataProvider holds the private key, encrypts inputs, and evaluates
+// non-linear stages on plaintext.
+type DataProvider struct {
+	sk      *paillier.PrivateKey
+	factor  int64
+	workers int
+	pool    *paillier.Pool
+	stages  []*nonLinearStage
+}
+
+// SetStageThreads overrides stage r's thread count.
+func (dp *DataProvider) SetStageThreads(r, threads int) error {
+	if r < 0 || r >= len(dp.stages) {
+		return fmt.Errorf("protocol: no non-linear stage %d", r)
+	}
+	if threads < 1 {
+		return fmt.Errorf("protocol: stage %d needs ≥ 1 thread", r)
+	}
+	dp.stages[r].threads = threads
+	return nil
+}
+
+// Stages returns the number of non-linear stages.
+func (dp *DataProvider) Stages() int { return len(dp.stages) }
+
+// Encrypt performs step 1.1: scale the raw input to exponent 1 and
+// encrypt it element-wise.
+func (dp *DataProvider) Encrypt(req uint64, x *tensor.Dense) (*Envelope, error) {
+	scaled := qnn.ScaleInput(x, dp.factor)
+	ct, err := dp.encryptTensor(scaled)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{Req: req, CT: ct, Exp: 1}, nil
+}
+
+func (dp *DataProvider) encryptTensor(t *tensor.Tensor[int64]) (*paillier.CipherTensor, error) {
+	if dp.pool != nil {
+		out := tensor.New[*paillier.Ciphertext](t.Shape()...)
+		for i, v := range t.Data() {
+			ct, err := dp.pool.EncryptInt64(v)
+			if err != nil {
+				return nil, err
+			}
+			out.SetFlat(i, ct)
+		}
+		return out, nil
+	}
+	return paillier.EncryptTensor(&dp.sk.PublicKey, nil, t, dp.workers)
+}
+
+// ProcessNonLinear executes round r's steps at the data provider:
+// decrypt, apply the non-linear functions, and re-encrypt (intermediate
+// rounds) or produce the final result (last round) — steps 2.1–2.4 and
+// 3.5–3.7 of Figure 3.
+func (dp *DataProvider) ProcessNonLinear(r int, env *Envelope) (*Envelope, error) {
+	if r < 0 || r >= len(dp.stages) {
+		return nil, fmt.Errorf("protocol: no non-linear stage %d", r)
+	}
+	st := dp.stages[r]
+	if env.CT == nil {
+		return nil, fmt.Errorf("protocol: non-linear stage %d received no ciphertext", r)
+	}
+	last := r == len(dp.stages)-1
+	bigT, err := paillier.DecryptTensorBig(dp.sk, env.CT, st.threads)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := qnn.Descale(bigT, dp.factor, env.Exp)
+	if err != nil {
+		return nil, err
+	}
+
+	if last {
+		if env.Obfuscated {
+			return nil, fmt.Errorf("protocol: final stage must receive a non-obfuscated tensor")
+		}
+		shaped, err := vals.Reshape(st.inShape...)
+		if err != nil {
+			return nil, err
+		}
+		cur := shaped
+		for _, l := range st.layers {
+			cur, err = l.Forward(cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Envelope{Req: env.Req, Result: cur}, nil
+	}
+
+	// Intermediate stage: the tensor is permuted, so only element-wise
+	// functions may run; they apply position-independently on the flat
+	// vector.
+	if !env.Obfuscated {
+		return nil, fmt.Errorf("protocol: intermediate non-linear stage %d expects an obfuscated tensor", r)
+	}
+	flat := vals.Flatten()
+	data := flat.Data()
+	for _, l := range st.layers {
+		ew, ok := l.(nn.ElementWise)
+		if !ok {
+			return nil, fmt.Errorf("protocol: layer %s is not element-wise but received a permuted tensor", l.Name())
+		}
+		for i, v := range data {
+			data[i] = ew.ApplyElement(v)
+		}
+	}
+	rescaled := qnn.ScaleInput(flat, dp.factor)
+	ct, err := dp.encryptTensor(rescaled)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{Req: env.Req, CT: ct, Exp: 1, Obfuscated: true}, nil
+}
+
+// StageComm returns the per-request stage-to-thread communication volume
+// of linear stage r, in ciphertext elements, for both partitioning modes
+// (Section IV-D):
+//
+//   - without partitioning, the stage "feeds an input tensor directly to
+//     each thread, which produces one element of the output tensor at a
+//     time" (Exp#2/Exp#4 baseline): outSize × inSize elements per op;
+//   - with partitioning, each thread receives once the union of inputs
+//     its output share needs (the whole input for fully-connected ops,
+//     receptive-field sub-tensors for convolutions).
+func (mp *ModelProvider) StageComm(r, threads int) (withPart, withoutPart int, err error) {
+	if r < 0 || r >= len(mp.stages) {
+		return 0, 0, fmt.Errorf("protocol: no linear stage %d", r)
+	}
+	st := mp.stages[r]
+	shape := st.inShape
+	for _, op := range st.ops {
+		eop, ok := op.(qnn.ElementOp)
+		if !ok {
+			return 0, 0, fmt.Errorf("protocol: op %s lacks element accounting", op.Name())
+		}
+		if _, structural := op.(*qnn.QFlatten); structural {
+			// Shape-only ops move no data between threads: no dispatch
+			// happens for them in either partitioning mode.
+			next, err := op.OutShape(shape)
+			if err != nil {
+				return 0, 0, err
+			}
+			shape = next
+			continue
+		}
+		outN, err := eop.OutSize(shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		withoutPart += outN * shape.Size()
+		tasks, err := partition.PlanOp(eop, shape, threads, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, task := range tasks {
+			if task.Inputs == nil {
+				withPart += shape.Size()
+			} else {
+				withPart += len(task.Inputs)
+			}
+		}
+		next, err := op.OutShape(shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		shape = next
+	}
+	return withPart, withoutPart, nil
+}
+
+// executePartitioned routes a linear stage through the tensor
+// partitioning executor (internal/partition), which materializes
+// per-thread input views.
+func executePartitioned(pk *paillier.PublicKey, st *linearStage, x *paillier.CipherTensor, inExp int) (*paillier.CipherTensor, int, []partition.CommStats, error) {
+	return partition.ExecuteStage(pk, st.ops, x, inExp, st.threads, st.inputPartition)
+}

@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RateLimiter bounds the number of inference requests a data provider
+// may start per window — the countermeasure the paper suggests against
+// model-stealing attacks, where a compromised data provider trains a
+// surrogate model on query/answer pairs (Section II-C).
+//
+// It is a sliding-window limiter keyed by request start; the model
+// provider calls Allow before admitting a request's first round.
+type RateLimiter struct {
+	mu     sync.Mutex
+	limit  int
+	window time.Duration
+	starts []time.Time
+	now    func() time.Time
+}
+
+// NewRateLimiter allows up to limit new requests per window.
+func NewRateLimiter(limit int, window time.Duration) (*RateLimiter, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("protocol: rate limit must be positive, got %d", limit)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("protocol: rate window must be positive, got %v", window)
+	}
+	return &RateLimiter{limit: limit, window: window, now: time.Now}, nil
+}
+
+// Allow reports whether a new request may start, recording it if so.
+func (rl *RateLimiter) Allow() bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	cutoff := now.Add(-rl.window)
+	kept := rl.starts[:0]
+	for _, t := range rl.starts {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	rl.starts = kept
+	if len(rl.starts) >= rl.limit {
+		return false
+	}
+	rl.starts = append(rl.starts, now)
+	return true
+}
+
+// InFlight reports how many admissions remain inside the window.
+func (rl *RateLimiter) InFlight() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	cutoff := rl.now().Add(-rl.window)
+	n := 0
+	for _, t := range rl.starts {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetLimiter attaches a rate limiter to the model provider. When set,
+// round-0 ProcessLinear calls for new requests are rejected once the
+// limit is reached.
+func (mp *ModelProvider) SetLimiter(rl *RateLimiter) {
+	mp.mu.Lock()
+	mp.limiter = rl
+	mp.mu.Unlock()
+}
+
+// admit enforces the limiter for a request's first round.
+func (mp *ModelProvider) admit() error {
+	mp.mu.Lock()
+	rl := mp.limiter
+	mp.mu.Unlock()
+	if rl == nil {
+		return nil
+	}
+	if !rl.Allow() {
+		return fmt.Errorf("protocol: request rate limit exceeded (%d per %v)", rl.limit, rl.window)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppstream/internal/tensor"
+)
+
+func TestRateLimiterValidation(t *testing.T) {
+	if _, err := NewRateLimiter(0, time.Second); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := NewRateLimiter(5, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRateLimiterWindow(t *testing.T) {
+	rl, err := NewRateLimiter(2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// controllable clock
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+
+	if !rl.Allow() || !rl.Allow() {
+		t.Fatal("first two requests must pass")
+	}
+	if rl.Allow() {
+		t.Error("third request within the window passed")
+	}
+	if rl.InFlight() != 2 {
+		t.Errorf("InFlight = %d", rl.InFlight())
+	}
+	// advance past the window: capacity frees up
+	now = now.Add(2 * time.Minute)
+	if !rl.Allow() {
+		t.Error("request after window expiry rejected")
+	}
+	if rl.InFlight() != 1 {
+		t.Errorf("InFlight after expiry = %d", rl.InFlight())
+	}
+}
+
+func TestModelProviderEnforcesLimit(t *testing.T) {
+	k := key(t)
+	net := buildNet(t)
+	proto, err := Build(net, k, Config{Factor: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := NewRateLimiter(1, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Model.SetLimiter(rl)
+
+	x := tensor.MustFromSlice([]float64{1, 2, 3, 4}, 4)
+	// First request completes all rounds (the limit counts request
+	// starts, not rounds).
+	if _, err := proto.Infer(1, x); err != nil {
+		t.Fatalf("first request rejected: %v", err)
+	}
+	// Second request start must be rejected.
+	if _, err := proto.Infer(2, x); err == nil {
+		t.Error("second request within the window accepted")
+	} else if !strings.Contains(err.Error(), "rate limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/paillier"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// This file implements the network session layer used by cmd/ppserver
+// and cmd/ppclient: a data provider connects to the model-provider
+// service, sends a Hello carrying its public key and the agreed scaling
+// factor, and then drives the Figure 3 workflow round by round over the
+// same connection pair.
+
+// Hello is the data provider's session-setup frame.
+type Hello struct {
+	// N is the big-endian Paillier modulus (the public key).
+	N []byte
+	// Factor is the agreed parameter scaling factor.
+	Factor int64
+	// Workers requests a per-stage thread count on the server (bounded
+	// by the server's own cap).
+	Workers int
+}
+
+// roundFrame tags a wire envelope with its round index for the service
+// loop.
+type roundFrame struct {
+	Round int
+	Env   *WireEnvelope
+}
+
+// RegisterServiceWire registers the session frame types with gob.
+func RegisterServiceWire() {
+	RegisterWire()
+	stream.RegisterWireType(&Hello{})
+	stream.RegisterWireType(&roundFrame{})
+}
+
+// ServeSession runs the model-provider side of one client session: it
+// reads the Hello, builds the role for the client's key, and answers
+// each round until the client closes. maxWorkers bounds the per-stage
+// threads a client may request.
+func ServeSession(ctx context.Context, in, out stream.Edge, net *nn.Network, factor int64, maxWorkers int) error {
+	first, err := in.Recv(ctx)
+	if err != nil {
+		return fmt.Errorf("protocol: session hello: %w", err)
+	}
+	hello, ok := first.Payload.(*Hello)
+	if !ok {
+		return fmt.Errorf("protocol: expected Hello, got %T", first.Payload)
+	}
+	if hello.Factor != factor {
+		return fmt.Errorf("protocol: client factor %d does not match server's %d", hello.Factor, factor)
+	}
+	if len(hello.N) == 0 {
+		return errors.New("protocol: hello carries no public key")
+	}
+	n := new(big.Int).SetBytes(hello.N)
+	pk := &paillier.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+	workers := hello.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	mp, err := BuildModelProvider(net, pk, Config{Factor: factor, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("protocol: building provider for session: %w", err)
+	}
+	for {
+		msg, err := in.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, stream.ErrEdgeClosed) {
+				return nil
+			}
+			return err
+		}
+		frame, ok := msg.Payload.(*roundFrame)
+		if !ok {
+			return fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
+		}
+		env, err := FromWire(frame.Env, pk)
+		if err != nil {
+			// Malformed client frame: reply with an error message but
+			// keep the session alive.
+			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
+				return sendErr
+			}
+			continue
+		}
+		result, err := mp.ProcessLinear(frame.Round, env)
+		if err != nil {
+			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
+				return sendErr
+			}
+			continue
+		}
+		reply, err := ToWire(result)
+		if err != nil {
+			return err
+		}
+		if err := out.Send(ctx, &stream.Message{Seq: msg.Seq, Payload: &roundFrame{Round: frame.Round, Env: reply}}); err != nil {
+			return err
+		}
+	}
+}
+
+// Client drives the data-provider side of a remote session.
+type Client struct {
+	dp     *DataProvider
+	pk     *paillier.PublicKey
+	in     stream.Edge // frames from the server
+	out    stream.Edge // frames to the server
+	rounds int
+	nextID uint64
+}
+
+// NewClient builds the data-provider role, sends the Hello, and returns
+// a client ready to Infer. The architecture network may be a skeleton;
+// its linear weights are not read.
+func NewClient(ctx context.Context, in, out stream.Edge, arch *nn.Network, sk *paillier.PrivateKey, factor int64, workers int) (*Client, error) {
+	dp, err := BuildDataProvider(arch, sk, Config{Factor: factor, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := validateWorkflow(arch)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 0
+	for _, m := range merged {
+		if m.Kind == nn.Linear {
+			rounds++
+		}
+	}
+	hello := &Hello{N: sk.N.Bytes(), Factor: factor, Workers: workers}
+	if err := out.Send(ctx, &stream.Message{Payload: hello}); err != nil {
+		return nil, err
+	}
+	return &Client{dp: dp, pk: &sk.PublicKey, in: in, out: out, rounds: rounds, nextID: 1}, nil
+}
+
+// Infer runs one private inference against the remote model provider.
+func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	req := c.nextID
+	c.nextID++
+	env, err := c.dp.Encrypt(req, x)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < c.rounds; round++ {
+		w, err := ToWire(env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w}}); err != nil {
+			return nil, err
+		}
+		msg, err := c.in.Recv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Err != "" {
+			return nil, fmt.Errorf("protocol: server rejected round %d: %s", round, msg.Err)
+		}
+		frame, ok := msg.Payload.(*roundFrame)
+		if !ok {
+			return nil, fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
+		}
+		env, err = FromWire(frame.Env, c.pk)
+		if err != nil {
+			return nil, err
+		}
+		env.Req = req
+		env, err = c.dp.ProcessNonLinear(round, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if env.Result == nil {
+		return nil, errors.New("protocol: session ended without a result")
+	}
+	return env.Result, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.out.CloseSend() }

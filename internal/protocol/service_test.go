@@ -1,0 +1,132 @@
+package protocol
+
+import (
+	"context"
+	mathrand "math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// TestServiceSessionEndToEnd runs the server/client session layer over
+// an in-memory connection pair: the deployment path of cmd/ppserver and
+// cmd/ppclient.
+func TestServiceSessionEndToEnd(t *testing.T) {
+	RegisterServiceWire()
+	k := key(t)
+	netw := buildNet(t)
+	const factor = 1000
+
+	c2s1, s2c1 := net.Pipe() // client -> server
+	c2s2, s2c2 := net.Pipe() // server -> client
+	serverIn := stream.NewTCPEdge(s2c1)
+	serverOut := stream.NewTCPEdge(c2s2)
+	clientOut := stream.NewTCPEdge(c2s1)
+	clientIn := stream.NewTCPEdge(s2c2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ServeSession(ctx, serverIn, serverOut, netw, factor, 4)
+	}()
+
+	client, err := NewClient(ctx, clientIn, clientOut, netw, k, factor, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathrand.New(mathrand.NewSource(201))
+	for trial := 0; trial < 3; trial++ {
+		x := tensor.Zeros(4)
+		for i := range x.Data() {
+			x.Data()[i] = r.NormFloat64()
+		}
+		got, err := client.Infer(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := netw.Forward(x)
+		if !tensor.AllClose(want, got, 1e-2) {
+			t.Errorf("trial %d: remote inference diverges", trial)
+		}
+	}
+	client.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestServiceRejectsFactorMismatch: the server refuses a client whose
+// scaling factor differs (the quantized weights would not match).
+func TestServiceRejectsFactorMismatch(t *testing.T) {
+	RegisterServiceWire()
+	k := key(t)
+	netw := buildNet(t)
+
+	c2s, s2c := net.Pipe()
+	serverIn := stream.NewTCPEdge(s2c)
+	clientOut := stream.NewTCPEdge(c2s)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ServeSession(ctx, serverIn, nil, netw, 1000, 4)
+	}()
+	hello := &Hello{N: k.N.Bytes(), Factor: 999, Workers: 1}
+	if err := clientOut.Send(ctx, &stream.Message{Payload: hello}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err == nil {
+		t.Error("factor mismatch accepted")
+	}
+}
+
+// TestDataProviderNeedsNoWeights: the client role builds from an
+// architecture whose linear weights are zeroed — proving the data
+// provider never depends on the vendor's parameters.
+func TestDataProviderNeedsNoWeights(t *testing.T) {
+	k := key(t)
+	netw := buildNet(t)
+	skeleton := netw.Clone()
+	for _, l := range skeleton.Layers {
+		if fc, ok := l.(*nn.FC); ok {
+			fc.W.Fill(0)
+			fc.B.Fill(0)
+		}
+	}
+	dp, err := BuildDataProvider(skeleton, k, Config{Factor: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair the skeleton-built data provider with the real model
+	// provider and run a full inference.
+	mp, err := BuildModelProvider(netw, &k.PublicKey, Config{Factor: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustFromSlice([]float64{0.4, -0.2, 1.0, 0.3}, 4)
+	env, err := dp.Encrypt(1, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < dp.Stages(); r++ {
+		env, err = mp.ProcessLinear(r, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err = dp.ProcessNonLinear(r, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := netw.Forward(x)
+	if !tensor.AllClose(want, env.Result, 1e-2) {
+		t.Error("skeleton-built data provider produced wrong result")
+	}
+}

@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ppstream/internal/paillier"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// WireEnvelope is the gob-encodable form of Envelope for TCP edges
+// between the model and data providers. Only ciphertexts (and, for the
+// terminal hop, the final result) ever cross the wire: raw inputs and
+// model parameters never leave their provider (Section II-C).
+type WireEnvelope struct {
+	Req        uint64
+	Shape      []int
+	Cipher     [][]byte // big-endian ciphertext ring elements
+	Exp        int
+	Obfuscated bool
+	// Result carries the final plaintext output (terminal hop only).
+	Result      []float64
+	ResultShape []int
+}
+
+// RegisterWire registers the wire types with gob. Call once per process
+// before using TCP edges.
+func RegisterWire() {
+	stream.RegisterWireType(&WireEnvelope{})
+}
+
+// ToWire serializes an Envelope.
+func ToWire(env *Envelope) (*WireEnvelope, error) {
+	w := &WireEnvelope{Req: env.Req, Exp: env.Exp, Obfuscated: env.Obfuscated}
+	if env.Result != nil {
+		w.Result = append([]float64(nil), env.Result.Data()...)
+		w.ResultShape = env.Result.Shape().Clone()
+		return w, nil
+	}
+	if env.CT == nil {
+		return nil, errors.New("protocol: envelope has neither ciphertext nor result")
+	}
+	w.Shape = env.CT.Shape().Clone()
+	w.Cipher = make([][]byte, env.CT.Size())
+	for i, ct := range env.CT.Data() {
+		if ct == nil {
+			return nil, fmt.Errorf("protocol: nil ciphertext at %d", i)
+		}
+		w.Cipher[i] = ct.Value().Bytes()
+	}
+	return w, nil
+}
+
+// FromWire deserializes and validates a WireEnvelope under the given
+// public key. Malformed frames (wrong sizes, out-of-range ciphertexts)
+// are rejected — the receiving provider treats the network as untrusted.
+func FromWire(w *WireEnvelope, pk *paillier.PublicKey) (*Envelope, error) {
+	if w == nil {
+		return nil, errors.New("protocol: nil wire envelope")
+	}
+	env := &Envelope{Req: w.Req, Exp: w.Exp, Obfuscated: w.Obfuscated}
+	if w.Result != nil {
+		res, err := tensor.FromSlice(append([]float64(nil), w.Result...), w.ResultShape...)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: malformed result: %w", err)
+		}
+		env.Result = res
+		return env, nil
+	}
+	shape := tensor.Shape(w.Shape)
+	if err := shape.Validate(); err != nil {
+		return nil, fmt.Errorf("protocol: malformed shape: %w", err)
+	}
+	if len(w.Cipher) != shape.Size() {
+		return nil, fmt.Errorf("protocol: %d ciphertexts for shape %v", len(w.Cipher), shape)
+	}
+	ct := tensor.New[*paillier.Ciphertext](shape...)
+	for i, raw := range w.Cipher {
+		v := new(big.Int).SetBytes(raw)
+		c, err := paillier.NewCiphertextFromValue(v, pk)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: ciphertext %d: %w", i, err)
+		}
+		ct.SetFlat(i, c)
+	}
+	env.CT = ct
+	return env, nil
+}

@@ -1,0 +1,148 @@
+package qnn
+
+import (
+	"fmt"
+
+	"ppstream/internal/paillier"
+	"ppstream/internal/tensor"
+)
+
+// ElementOp is implemented by quantized ops that can compute output
+// elements independently, the property behind the paper's tensor
+// partitioning (Section IV-D): each thread produces a slice of the
+// output tensor and needs only the input sub-tensor its elements read.
+type ElementOp interface {
+	Op
+	// OutSize returns the number of output elements for an input shape.
+	OutSize(in tensor.Shape) (int, error)
+	// InputNeeds lists the flat input offsets that output element
+	// outIdx reads. A nil return means the whole input is required
+	// (fully-connected operations support only output partitioning).
+	InputNeeds(in tensor.Shape, outIdx int) []int
+	// ComputeElement evaluates one output element through an input
+	// accessor, allowing the caller to substitute a partitioned
+	// sub-tensor view.
+	ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error)
+}
+
+// OutSize implements ElementOp for QFC.
+func (q *QFC) OutSize(in tensor.Shape) (int, error) {
+	if in.Size() != len(q.W[0]) {
+		return 0, fmt.Errorf("qnn: %s expects %d inputs, got %v", q.name, len(q.W[0]), in)
+	}
+	return len(q.W), nil
+}
+
+// InputNeeds implements ElementOp: fully-connected rows read everything.
+func (q *QFC) InputNeeds(tensor.Shape, int) []int { return nil }
+
+// ComputeElement implements ElementOp.
+func (q *QFC) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+	n := in.Size()
+	xs := make([]*paillier.Ciphertext, 0, n)
+	ws := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		w := q.W[outIdx][i]
+		if w == 0 {
+			continue
+		}
+		xs = append(xs, get(i))
+		ws = append(ws, w)
+	}
+	ct, err := paillier.DotScaled(pk, xs, ws, 0)
+	if err != nil {
+		return nil, err
+	}
+	if q.B[outIdx] != 0 {
+		return pk.AddPlain(ct, biasAt(q.B[outIdx], q.F, inExp+1))
+	}
+	return ct, nil
+}
+
+// OutSize implements ElementOp for QConv.
+func (q *QConv) OutSize(in tensor.Shape) (int, error) {
+	want := q.P.InC * q.P.InH * q.P.InW
+	if in.Size() != want {
+		return 0, fmt.Errorf("qnn: %s expects %d inputs, got %v", q.name, want, in)
+	}
+	return q.P.OutC * q.P.OutH() * q.P.OutW(), nil
+}
+
+// InputNeeds implements ElementOp: a conv output element reads exactly
+// its receptive field — the sub-tensor of Figure 5.
+func (q *QConv) InputNeeds(_ tensor.Shape, outIdx int) []int {
+	positions := q.P.OutH() * q.P.OutW()
+	pos := outIdx % positions
+	row := q.Rows[pos]
+	needs := make([]int, 0, len(row))
+	for _, off := range row {
+		if off >= 0 {
+			needs = append(needs, off)
+		}
+	}
+	return needs
+}
+
+// ComputeElement implements ElementOp.
+func (q *QConv) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+	positions := q.P.OutH() * q.P.OutW()
+	f := outIdx / positions
+	pos := outIdx % positions
+	row := q.Rows[pos]
+	xs := make([]*paillier.Ciphertext, 0, len(row))
+	ws := make([]int64, 0, len(row))
+	for k, off := range row {
+		if off < 0 || q.W[f][k] == 0 {
+			continue
+		}
+		xs = append(xs, get(off))
+		ws = append(ws, q.W[f][k])
+	}
+	ct, err := paillier.DotScaled(pk, xs, ws, 0)
+	if err != nil {
+		return nil, err
+	}
+	if q.B[f] != 0 {
+		return pk.AddPlain(ct, biasAt(q.B[f], q.F, inExp+1))
+	}
+	return ct, nil
+}
+
+// OutSize implements ElementOp for QAffine.
+func (q *QAffine) OutSize(in tensor.Shape) (int, error) {
+	if _, err := q.coeffIndex(in); err != nil {
+		return 0, err
+	}
+	return in.Size(), nil
+}
+
+// InputNeeds implements ElementOp: element-wise ops read one element.
+func (q *QAffine) InputNeeds(_ tensor.Shape, outIdx int) []int { return []int{outIdx} }
+
+// ComputeElement implements ElementOp.
+func (q *QAffine) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+	idx, err := q.coeffIndex(in)
+	if err != nil {
+		return nil, err
+	}
+	c := idx(outIdx)
+	ct, err := pk.MulScalarInt64(get(outIdx), q.Scale[c])
+	if err != nil {
+		return nil, err
+	}
+	if q.Shift != nil && q.Shift[c] != 0 {
+		return pk.AddPlain(ct, biasAt(q.Shift[c], q.F, inExp+1))
+	}
+	return ct, nil
+}
+
+// OutSize implements ElementOp for QFlatten.
+func (q *QFlatten) OutSize(in tensor.Shape) (int, error) { return in.Size(), nil }
+
+// InputNeeds implements ElementOp.
+func (q *QFlatten) InputNeeds(_ tensor.Shape, outIdx int) []int { return []int{outIdx} }
+
+// ComputeElement implements ElementOp: identity.
+func (q *QFlatten) ComputeElement(_ *paillier.PublicKey, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, _ int) (*paillier.Ciphertext, error) {
+	return get(outIdx), nil
+}

@@ -1,0 +1,192 @@
+package qnn
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/paillier"
+	"ppstream/internal/tensor"
+)
+
+// TestElementOpsMatchApply verifies each op's per-element path equals its
+// bulk Apply path — the invariant the partitioning executor relies on.
+func TestElementOpsMatchApply(t *testing.T) {
+	k := key(t)
+	const F = 100
+	r := rng()
+	cases := []struct {
+		name  string
+		layer nn.Layer
+		in    tensor.Shape
+	}{
+		{"fc", nn.NewFC("fc", 6, 4, r), tensor.Shape{6}},
+		{"flatten", nn.NewFlatten("fl"), tensor.Shape{2, 3}},
+	}
+	conv, err := nn.NewConv("c", tensor.ConvParams{InC: 1, InH: 4, InW: 4, OutC: 2, KH: 2, KW: 2, Stride: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name  string
+		layer nn.Layer
+		in    tensor.Shape
+	}{"conv", conv, tensor.Shape{1, 4, 4}})
+	bn := nn.NewBatchNorm("bn", 2)
+	bn.Gamma = tensor.MustFromSlice([]float64{1.5, 0.5}, 2)
+	cases = append(cases, struct {
+		name  string
+		layer nn.Layer
+		in    tensor.Shape
+	}{"batchnorm", bn, tensor.Shape{2, 2, 2}})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			op, err := Quantize(c.layer, F)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eop, ok := op.(ElementOp)
+			if !ok {
+				t.Fatalf("%s does not implement ElementOp", c.name)
+			}
+			x := tensor.Zeros(c.in...)
+			for i := range x.Data() {
+				x.Data()[i] = r.Float64() - 0.5
+			}
+			ct, err := paillier.EncryptTensor(&k.PublicKey, rand.Reader, ScaleInput(x, F), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bulk, err := op.Apply(&k.PublicKey, ct, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bulkDec, err := paillier.DecryptTensorBig(k, bulk, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := eop.OutSize(c.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != bulk.Size() {
+				t.Fatalf("OutSize %d vs Apply size %d", n, bulk.Size())
+			}
+			xs := ct.Flatten().Data()
+			get := func(i int) *paillier.Ciphertext { return xs[i] }
+			for idx := 0; idx < n; idx++ {
+				elem, err := eop.ComputeElement(&k.PublicKey, get, c.in, idx, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := k.Decrypt(elem)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cmp(bulkDec.AtFlat(idx)) != 0 {
+					t.Fatalf("%s element %d: %v vs bulk %v", c.name, idx, got, bulkDec.AtFlat(idx))
+				}
+				// InputNeeds must cover every offset ComputeElement reads.
+				needs := eop.InputNeeds(c.in, idx)
+				if needs != nil {
+					allowed := map[int]bool{}
+					for _, off := range needs {
+						allowed[off] = true
+					}
+					guarded := func(i int) *paillier.Ciphertext {
+						if !allowed[i] {
+							t.Fatalf("%s element %d read offset %d outside InputNeeds", c.name, idx, i)
+						}
+						return xs[i]
+					}
+					if _, err := eop.ComputeElement(&k.PublicKey, guarded, c.in, idx, 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplyPlainMatchesCipherAllOps checks the plaintext big-int path for
+// conv and affine ops (the FC case is covered in qnn_test.go).
+func TestApplyPlainMatchesCipherAllOps(t *testing.T) {
+	k := key(t)
+	const F = 100
+	r := rng()
+	conv, err := nn.NewConv("c", tensor.ConvParams{InC: 1, InH: 3, InW: 3, OutC: 1, KH: 2, KW: 2, Stride: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn := nn.NewBatchNorm("bn", 1)
+	bn.Beta = tensor.MustFromSlice([]float64{0.5}, 1)
+	for _, layer := range []nn.Layer{conv, bn, nn.NewFlatten("fl")} {
+		op, err := Quantize(layer, F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.Zeros(1, 3, 3)
+		for i := range x.Data() {
+			x.Data()[i] = r.Float64()
+		}
+		scaled := ScaleInput(x, F)
+		bigIn := tensor.Map(scaled, func(v int64) *big.Int { return big.NewInt(v) })
+		plain, err := op.ApplyPlain(bigIn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := paillier.EncryptTensor(&k.PublicKey, rand.Reader, scaled, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cipher, err := op.Apply(&k.PublicKey, ct, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := paillier.DecryptTensorBig(k, cipher, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain.Data() {
+			if plain.AtFlat(i).Cmp(dec.AtFlat(i)) != 0 {
+				t.Fatalf("%s element %d: plain %v cipher %v", op.Name(), i, plain.AtFlat(i), dec.AtFlat(i))
+			}
+		}
+	}
+}
+
+func TestOpShapeErrors(t *testing.T) {
+	r := rng()
+	fc, _ := Quantize(nn.NewFC("fc", 4, 2, r), 10)
+	if _, err := fc.OutShape(tensor.Shape{5}); err == nil {
+		t.Error("FC wrong input shape accepted")
+	}
+	if _, err := fc.(ElementOp).OutSize(tensor.Shape{5}); err == nil {
+		t.Error("FC OutSize wrong shape accepted")
+	}
+	conv, err := nn.NewConv("c", tensor.ConvParams{InC: 1, InH: 3, InW: 3, OutC: 1, KH: 2, KW: 2, Stride: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, _ := Quantize(conv, 10)
+	if _, err := qc.OutShape(tensor.Shape{2, 3, 3}); err == nil {
+		t.Error("conv wrong input size accepted")
+	}
+	bn, _ := Quantize(nn.NewBatchNorm("bn", 3), 10)
+	if _, err := bn.OutShape(tensor.Shape{2, 2}); err == nil {
+		t.Error("affine unmappable shape accepted")
+	}
+	k := key(t)
+	if _, err := bn.Apply(&k.PublicKey, tensor.New[*paillier.Ciphertext](2, 2), 1, 1); err == nil {
+		t.Error("affine apply with unmappable shape accepted")
+	}
+}
+
+func TestQuantizeStageRejectsNonLinear(t *testing.T) {
+	p := &nn.PrimitiveLayer{Kind: nn.NonLinear, Layers: []nn.Layer{nn.NewReLU("r")}}
+	if _, err := QuantizeStage(p, 10); err == nil {
+		t.Error("non-linear stage quantized")
+	}
+}

@@ -1,0 +1,445 @@
+package qnn
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/paillier"
+	"ppstream/internal/tensor"
+)
+
+// QFC is the quantized fully-connected layer.
+type QFC struct {
+	name string
+	F    int64
+	W    [][]int64 // [out][in], weights at scale F
+	B    []float64 // original float biases, materialized per call
+}
+
+func quantizeFC(l *nn.FC, F int64) *QFC {
+	out, in := l.Out(), l.In()
+	w := make([][]int64, out)
+	for o := 0; o < out; o++ {
+		row := make([]int64, in)
+		for i := 0; i < in; i++ {
+			row[i] = roundToInt64(l.W.At(o, i), F)
+		}
+		w[o] = row
+	}
+	b := make([]float64, out)
+	copy(b, l.B.Data())
+	return &QFC{name: l.Name(), F: F, W: w, B: b}
+}
+
+// Name implements Op.
+func (q *QFC) Name() string { return q.name }
+
+// ScaleSteps implements Op.
+func (q *QFC) ScaleSteps() int { return 1 }
+
+// OutShape implements Op.
+func (q *QFC) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if in.Size() != len(q.W[0]) {
+		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %v", q.name, len(q.W[0]), in)
+	}
+	return tensor.Shape{len(q.W)}, nil
+}
+
+// Apply implements Op: row o computes Π E(x_i)^{W[o][i]} · E(b_o·F^(exp+1)).
+func (q *QFC) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+	xs := x.Flatten().Data()
+	if len(xs) != len(q.W[0]) {
+		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, len(q.W[0]), len(xs))
+	}
+	out := tensor.New[*paillier.Ciphertext](len(q.W))
+	od := out.Data()
+	var mu sync.Mutex
+	var firstErr error
+	parallelRange(len(q.W), workers, func(o int) {
+		ct, err := paillier.DotScaled(pk, xs, q.W[o], 0)
+		if err == nil && q.B[o] != 0 {
+			ct, err = pk.AddPlain(ct, biasAt(q.B[o], q.F, inExp+1))
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[o] = ct
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ApplyPlain implements Op over big integers.
+func (q *QFC) ApplyPlain(x *tensor.Tensor[*big.Int], inExp int) (*tensor.Tensor[*big.Int], error) {
+	xs := x.Flatten().Data()
+	if len(xs) != len(q.W[0]) {
+		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, len(q.W[0]), len(xs))
+	}
+	out := tensor.New[*big.Int](len(q.W))
+	for o := range q.W {
+		acc := biasAt(q.B[o], q.F, inExp+1)
+		t := new(big.Int)
+		for i, w := range q.W[o] {
+			if w == 0 {
+				continue
+			}
+			acc.Add(acc, t.Mul(xs[i], big.NewInt(w)))
+		}
+		out.SetFlat(o, acc)
+	}
+	return out, nil
+}
+
+// QConv is the quantized convolution layer. The im2col gather indices are
+// precomputed, so applying the layer is pure index gathering plus
+// homomorphic dot products — each output element reads exactly one input
+// sub-tensor, which is what makes the paper's input tensor partitioning
+// possible (Section IV-D).
+type QConv struct {
+	name string
+	F    int64
+	P    tensor.ConvParams
+	W    [][]int64 // [outC][rowLen], filters at scale F
+	B    []float64
+	// Rows[pos] lists the flat input offsets forming output position
+	// pos's receptive field; -1 marks padding (contributes zero).
+	Rows [][]int
+}
+
+func quantizeConv(l *nn.Conv, F int64) *QConv {
+	p := l.P
+	rowLen := p.InC * p.KH * p.KW
+	w := make([][]int64, p.OutC)
+	for f := 0; f < p.OutC; f++ {
+		row := make([]int64, rowLen)
+		k := 0
+		for c := 0; c < p.InC; c++ {
+			for ky := 0; ky < p.KH; ky++ {
+				for kx := 0; kx < p.KW; kx++ {
+					row[k] = roundToInt64(l.W.At(f, c, ky, kx), F)
+					k++
+				}
+			}
+		}
+		w[f] = row
+	}
+	b := make([]float64, p.OutC)
+	copy(b, l.B.Data())
+	return &QConv{name: l.Name(), F: F, P: p, W: w, B: b, Rows: GatherRows(p)}
+}
+
+// GatherRows computes, for every output spatial position of a
+// convolution, the flat input offsets of its receptive field (-1 for
+// padded positions). This is the index form of Im2Col and the basis of
+// input tensor partitioning.
+func GatherRows(p tensor.ConvParams) [][]int {
+	oh, ow := p.OutH(), p.OutW()
+	rowLen := p.InC * p.KH * p.KW
+	rows := make([][]int, oh*ow)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := make([]int, rowLen)
+			k := 0
+			for c := 0; c < p.InC; c++ {
+				for ky := 0; ky < p.KH; ky++ {
+					iy := oy*p.Stride + ky - p.Pad
+					for kx := 0; kx < p.KW; kx++ {
+						ix := ox*p.Stride + kx - p.Pad
+						if iy >= 0 && iy < p.InH && ix >= 0 && ix < p.InW {
+							row[k] = (c*p.InH+iy)*p.InW + ix
+						} else {
+							row[k] = -1
+						}
+						k++
+					}
+				}
+			}
+			rows[oy*ow+ox] = row
+		}
+	}
+	return rows
+}
+
+// Name implements Op.
+func (q *QConv) Name() string { return q.name }
+
+// ScaleSteps implements Op.
+func (q *QConv) ScaleSteps() int { return 1 }
+
+// OutShape implements Op.
+func (q *QConv) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	want := tensor.Shape{q.P.InC, q.P.InH, q.P.InW}
+	if in.Size() != want.Size() {
+		return nil, fmt.Errorf("qnn: %s expects input %v (size %d), got %v", q.name, want, want.Size(), in)
+	}
+	return tensor.Shape{q.P.OutC, q.P.OutH(), q.P.OutW()}, nil
+}
+
+// Apply implements Op.
+func (q *QConv) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+	xs := x.Flatten().Data()
+	if len(xs) != q.P.InC*q.P.InH*q.P.InW {
+		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, q.P.InC*q.P.InH*q.P.InW, len(xs))
+	}
+	oh, ow := q.P.OutH(), q.P.OutW()
+	out := tensor.New[*paillier.Ciphertext](q.P.OutC, oh, ow)
+	od := out.Data()
+	var mu sync.Mutex
+	var firstErr error
+	total := q.P.OutC * oh * ow
+	parallelRange(total, workers, func(idx int) {
+		f := idx / (oh * ow)
+		pos := idx % (oh * ow)
+		ct, err := q.applyOne(pk, xs, f, pos, inExp)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[idx] = ct
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// applyOne computes one output element: the homomorphic dot product of
+// filter f with the receptive field at output position pos.
+func (q *QConv) applyOne(pk *paillier.PublicKey, xs []*paillier.Ciphertext, f, pos, inExp int) (*paillier.Ciphertext, error) {
+	row := q.Rows[pos]
+	gathered := make([]*paillier.Ciphertext, 0, len(row))
+	weights := make([]int64, 0, len(row))
+	for k, off := range row {
+		if off < 0 || q.W[f][k] == 0 {
+			continue // padding or zero weight contributes nothing
+		}
+		gathered = append(gathered, xs[off])
+		weights = append(weights, q.W[f][k])
+	}
+	ct, err := paillier.DotScaled(pk, gathered, weights, 0)
+	if err != nil {
+		return nil, err
+	}
+	if q.B[f] != 0 {
+		ct, err = pk.AddPlain(ct, biasAt(q.B[f], q.F, inExp+1))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ct, nil
+}
+
+// ApplyPlain implements Op.
+func (q *QConv) ApplyPlain(x *tensor.Tensor[*big.Int], inExp int) (*tensor.Tensor[*big.Int], error) {
+	xs := x.Flatten().Data()
+	if len(xs) != q.P.InC*q.P.InH*q.P.InW {
+		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, q.P.InC*q.P.InH*q.P.InW, len(xs))
+	}
+	oh, ow := q.P.OutH(), q.P.OutW()
+	out := tensor.New[*big.Int](q.P.OutC, oh, ow)
+	t := new(big.Int)
+	for f := 0; f < q.P.OutC; f++ {
+		for pos := 0; pos < oh*ow; pos++ {
+			acc := biasAt(q.B[f], q.F, inExp+1)
+			for k, off := range q.Rows[pos] {
+				if off < 0 || q.W[f][k] == 0 {
+					continue
+				}
+				acc.Add(acc, t.Mul(xs[off], big.NewInt(q.W[f][k])))
+			}
+			out.SetFlat(f*oh*ow+pos, acc)
+		}
+	}
+	return out, nil
+}
+
+// QAffine is the quantized element-wise affine op covering BatchNorm
+// (per-channel scale and shift) and ElemScale (per-element scale, no
+// shift).
+type QAffine struct {
+	name string
+	F    int64
+	// Scale[i] applies to element i (expanded per element at build
+	// time), at scale F.
+	Scale []int64
+	// Shift[i] is the float shift applied to element i (may be nil for
+	// pure scaling).
+	Shift []float64
+	shape tensor.Shape
+}
+
+func quantizeBatchNorm(l *nn.BatchNorm, F int64) *QAffine {
+	// y = a·x + c with a = γ/√(σ²+ε), c = β − a·μ, per channel. The
+	// per-element expansion happens lazily in Apply since the spatial
+	// size is known from the input.
+	a := make([]int64, l.Channels)
+	c := make([]float64, l.Channels)
+	for ch := 0; ch < l.Channels; ch++ {
+		inv := 1 / math.Sqrt(l.Var.At(ch)+l.Eps)
+		af := l.Gamma.At(ch) * inv
+		a[ch] = roundToInt64(af, F)
+		c[ch] = l.Beta.At(ch) - af*l.Mean.At(ch)
+	}
+	return &QAffine{name: l.Name(), F: F, Scale: a, Shift: c}
+}
+
+func quantizeElemScale(l *nn.ElemScale, F int64) *QAffine {
+	s := make([]int64, l.Scale.Size())
+	for i, v := range l.Scale.Data() {
+		s[i] = roundToInt64(v, F)
+	}
+	return &QAffine{name: l.Name(), F: F, Scale: s, Shift: nil, shape: l.Scale.Shape().Clone()}
+}
+
+// Name implements Op.
+func (q *QAffine) Name() string { return q.name }
+
+// ScaleSteps implements Op.
+func (q *QAffine) ScaleSteps() int { return 1 }
+
+// OutShape implements Op.
+func (q *QAffine) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if _, err := q.coeffIndex(in); err != nil {
+		return nil, err
+	}
+	return in.Clone(), nil
+}
+
+// coeffIndex returns a function mapping flat element offsets to indices
+// into Scale/Shift for the given input shape.
+func (q *QAffine) coeffIndex(in tensor.Shape) (func(int) int, error) {
+	switch {
+	case len(q.Scale) == in.Size():
+		return func(i int) int { return i }, nil
+	case in.Rank() == 3 && in[0] == len(q.Scale):
+		per := in[1] * in[2]
+		return func(i int) int { return i / per }, nil
+	case in.Rank() == 1 && in[0] == len(q.Scale):
+		return func(i int) int { return i }, nil
+	default:
+		return nil, fmt.Errorf("qnn: %s cannot map %d coefficients onto shape %v", q.name, len(q.Scale), in)
+	}
+}
+
+// Apply implements Op: element i becomes E(x_i)^{Scale[c]}·E(Shift[c]).
+func (q *QAffine) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+	idx, err := q.coeffIndex(x.Shape())
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New[*paillier.Ciphertext](x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	var mu sync.Mutex
+	var firstErr error
+	parallelRange(len(xd), workers, func(i int) {
+		c := idx(i)
+		ct, err := pk.MulScalarInt64(xd[i], q.Scale[c])
+		if err == nil && q.Shift != nil && q.Shift[c] != 0 {
+			ct, err = pk.AddPlain(ct, biasAt(q.Shift[c], q.F, inExp+1))
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		od[i] = ct
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ApplyPlain implements Op.
+func (q *QAffine) ApplyPlain(x *tensor.Tensor[*big.Int], inExp int) (*tensor.Tensor[*big.Int], error) {
+	idx, err := q.coeffIndex(x.Shape())
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New[*big.Int](x.Shape()...)
+	for i, v := range x.Data() {
+		c := idx(i)
+		acc := new(big.Int).Mul(v, big.NewInt(q.Scale[c]))
+		if q.Shift != nil && q.Shift[c] != 0 {
+			acc.Add(acc, biasAt(q.Shift[c], q.F, inExp+1))
+		}
+		out.SetFlat(i, acc)
+	}
+	return out, nil
+}
+
+// QFlatten reshapes the encrypted tensor to rank 1 without touching the
+// ciphertexts.
+type QFlatten struct {
+	name string
+}
+
+// Name implements Op.
+func (q *QFlatten) Name() string { return q.name }
+
+// ScaleSteps implements Op.
+func (q *QFlatten) ScaleSteps() int { return 0 }
+
+// OutShape implements Op.
+func (q *QFlatten) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	return tensor.Shape{in.Size()}, nil
+}
+
+// Apply implements Op.
+func (q *QFlatten) Apply(_ *paillier.PublicKey, x *paillier.CipherTensor, _, _ int) (*paillier.CipherTensor, error) {
+	return x.Flatten(), nil
+}
+
+// ApplyPlain implements Op.
+func (q *QFlatten) ApplyPlain(x *tensor.Tensor[*big.Int], _ int) (*tensor.Tensor[*big.Int], error) {
+	return x.Flatten(), nil
+}
+
+// parallelRange runs f(i) for i in [0,n) over up to workers goroutines.
+func parallelRange(n, workers int, f func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+// Package qnn holds the quantized, homomorphically-executable form of a
+// network's linear layers. After parameter scaling (internal/scaling)
+// selects F = 10^f, each linear layer's weights become integers ≈ w·F and
+// the layer evaluates over Paillier ciphertexts on the model provider.
+//
+// Scale-exponent bookkeeping: the data provider encrypts activations at
+// scale F¹ (x_int = round(x·F)). Every parameterized linear op multiplies
+// by weights at scale F, raising the result's exponent by one; biases are
+// materialized at the output exponent. The data provider divides by
+// F^exp after decryption to recover real values, applies the non-linear
+// functions in plaintext, and re-scales to F¹ for the next round. Paillier
+// plaintexts are big integers, so growing magnitudes stay exact as long
+// as they remain below n/2 — Guard checks that bound.
+package qnn
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/paillier"
+	"ppstream/internal/tensor"
+)
+
+// Op is a quantized linear operation evaluated over ciphertexts.
+type Op interface {
+	// Name identifies the op, matching the source layer's name.
+	Name() string
+	// OutShape computes the output tensor shape.
+	OutShape(in tensor.Shape) (tensor.Shape, error)
+	// ScaleSteps reports how many powers of F the op multiplies into the
+	// result (1 for parameterized ops, 0 for structural ones).
+	ScaleSteps() int
+	// Apply evaluates the op over an encrypted tensor whose plaintexts
+	// are at scale F^inExp, using up to workers goroutines, and returns
+	// the encrypted result at scale F^(inExp+ScaleSteps()).
+	Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp int, workers int) (*paillier.CipherTensor, error)
+	// ApplyPlain evaluates the same arithmetic over plaintext big
+	// integers; CipherBase/PlainBase baselines and tests use it to check
+	// the ciphertext path bit-for-bit.
+	ApplyPlain(x *tensor.Tensor[*big.Int], inExp int) (*tensor.Tensor[*big.Int], error)
+}
+
+// Quantize converts a linear nn layer into its homomorphic form with
+// scaling factor F.
+func Quantize(l nn.Layer, F int64) (Op, error) {
+	if F <= 0 {
+		return nil, fmt.Errorf("qnn: scaling factor must be positive, got %d", F)
+	}
+	switch v := l.(type) {
+	case *nn.FC:
+		return quantizeFC(v, F), nil
+	case *nn.Conv:
+		return quantizeConv(v, F), nil
+	case *nn.BatchNorm:
+		return quantizeBatchNorm(v, F), nil
+	case *nn.ElemScale:
+		return quantizeElemScale(v, F), nil
+	case *nn.Flatten:
+		return &QFlatten{name: v.Name()}, nil
+	default:
+		return nil, fmt.Errorf("qnn: layer %s (%T) is not a supported linear layer", l.Name(), l)
+	}
+}
+
+// QuantizeStage converts a merged linear primitive layer into its op
+// sequence.
+func QuantizeStage(p *nn.PrimitiveLayer, F int64) ([]Op, error) {
+	if p.Kind != nn.Linear {
+		return nil, fmt.Errorf("qnn: stage %s is %v, want linear", p.Name(), p.Kind)
+	}
+	ops := make([]Op, len(p.Layers))
+	for i, l := range p.Layers {
+		op, err := Quantize(l, F)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// StageScaleSteps sums the scale steps of a stage's ops.
+func StageScaleSteps(ops []Op) int {
+	total := 0
+	for _, op := range ops {
+		total += op.ScaleSteps()
+	}
+	return total
+}
+
+// ApplyStage runs a stage's ops in sequence over ciphertexts, returning
+// the result and the output scale exponent.
+func ApplyStage(pk *paillier.PublicKey, ops []Op, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, int, error) {
+	cur, exp := x, inExp
+	for _, op := range ops {
+		out, err := op.Apply(pk, cur, exp, workers)
+		if err != nil {
+			return nil, 0, fmt.Errorf("qnn: applying %s: %w", op.Name(), err)
+		}
+		cur = out
+		exp += op.ScaleSteps()
+	}
+	return cur, exp, nil
+}
+
+// ApplyStagePlain is ApplyStage over plaintext big integers.
+func ApplyStagePlain(ops []Op, x *tensor.Tensor[*big.Int], inExp int) (*tensor.Tensor[*big.Int], int, error) {
+	cur, exp := x, inExp
+	for _, op := range ops {
+		out, err := op.ApplyPlain(cur, exp)
+		if err != nil {
+			return nil, 0, fmt.Errorf("qnn: applying %s (plain): %w", op.Name(), err)
+		}
+		cur = out
+		exp += op.ScaleSteps()
+	}
+	return cur, exp, nil
+}
+
+// ScaleInput converts a float tensor to the integer representation at
+// scale F (exponent 1): round(x·F).
+func ScaleInput(x *tensor.Dense, F int64) *tensor.Tensor[int64] {
+	return tensor.Map(x, func(v float64) int64 {
+		return int64(math.Round(v * float64(F)))
+	})
+}
+
+// Descale converts a big-integer tensor at scale F^exp back to floats.
+func Descale(x *tensor.Tensor[*big.Int], F int64, exp int) (*tensor.Dense, error) {
+	if exp < 0 {
+		return nil, fmt.Errorf("qnn: negative scale exponent %d", exp)
+	}
+	div := new(big.Float).SetInt(powF(F, exp))
+	out := tensor.Zeros(x.Shape()...)
+	od := out.Data()
+	for i, v := range x.Data() {
+		if v == nil {
+			return nil, fmt.Errorf("qnn: nil value at offset %d", i)
+		}
+		q := new(big.Float).Quo(new(big.Float).SetInt(v), div)
+		f, _ := q.Float64()
+		od[i] = f
+	}
+	return out, nil
+}
+
+// Guard reports an error if a value at the given magnitude bound and
+// exponent could overflow the Paillier message space n/2.
+func Guard(pk *paillier.PublicKey, maxAbs float64, F int64, exp int) error {
+	bound := new(big.Float).SetFloat64(maxAbs)
+	bound.Mul(bound, new(big.Float).SetInt(powF(F, exp)))
+	limit := new(big.Float).SetInt(new(big.Int).Rsh(pk.N, 1))
+	if bound.Cmp(limit) >= 0 {
+		return fmt.Errorf("qnn: magnitude %.3g at scale F^%d exceeds the message space of a %d-bit key", maxAbs, exp, pk.Bits())
+	}
+	return nil
+}
+
+func powF(F int64, exp int) *big.Int {
+	out := big.NewInt(1)
+	f := big.NewInt(F)
+	for i := 0; i < exp; i++ {
+		out.Mul(out, f)
+	}
+	return out
+}
+
+// roundToInt64 rounds w·F to the nearest integer weight.
+func roundToInt64(w float64, F int64) int64 {
+	return int64(math.Round(w * float64(F)))
+}
+
+// biasAt materializes a float bias at scale F^exp as a big integer.
+func biasAt(b float64, F int64, exp int) *big.Int {
+	bf := new(big.Float).SetFloat64(b)
+	bf.Mul(bf, new(big.Float).SetInt(powF(F, exp)))
+	out, _ := bf.Int(nil)
+	return out
+}

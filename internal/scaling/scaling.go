@@ -1,0 +1,129 @@
+// Package scaling implements PP-Stream's parameter scaling (paper
+// Section IV-A): Paillier's cryptosystem works on integers, so
+// floating-point model parameters are multiplied by a scaling factor
+// F = 10^f and rounded. The factor-selection algorithm balances accuracy
+// (larger F preserves more precision) against cost (larger scaled weights
+// make the homomorphic scalar multiplications more expensive).
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/tensor"
+)
+
+// MaxExponent is the paper's cap on f: factors beyond 10^6 operate on
+// very large numbers for no accuracy benefit.
+const MaxExponent = 6
+
+// DefaultThreshold is the paper's accuracy-difference threshold (0.01%).
+const DefaultThreshold = 0.0001
+
+// RoundParams returns a copy of the network whose parameters are rounded
+// to f decimal places — the "approximate model" of the paper's Step 2.
+// The network still computes in float64; only parameter precision drops.
+func RoundParams(n *nn.Network, f int) (*nn.Network, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("scaling: negative decimal places %d", f)
+	}
+	factor := math.Pow(10, float64(f))
+	clone := n.Clone()
+	for _, p := range clone.Params() {
+		d := p.Data()
+		for i := range d {
+			d[i] = math.Round(d[i]*factor) / factor
+		}
+	}
+	// Frozen batch-norm statistics are model parameters too: they feed
+	// the affine transform the model provider evaluates.
+	for _, l := range clone.Layers {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			for _, p := range []*tensor.Dense{bn.Mean, bn.Var} {
+				d := p.Data()
+				for i := range d {
+					d[i] = math.Round(d[i]*factor) / factor
+				}
+			}
+		}
+	}
+	return clone, nil
+}
+
+// Result reports the outcome of factor selection.
+type Result struct {
+	// Exponent is the selected f with F = 10^f.
+	Exponent int
+	// Factor is 10^Exponent.
+	Factor int64
+	// OriginalAccuracy is the unscaled model's accuracy on the
+	// selection set (the paper's A).
+	OriginalAccuracy float64
+	// ScaledAccuracy is the rounded model's accuracy at the selected
+	// factor (the paper's A').
+	ScaledAccuracy float64
+	// Sweep records accuracy at every exponent tried, for Tables IV/V.
+	Sweep []float64
+}
+
+// SelectFactor runs the paper's three-step selection: measure the
+// original accuracy A on the training set, then increase f from 0 until
+// the rounded model's accuracy A' is within threshold of A or f hits
+// MaxExponent.
+func SelectFactor(n *nn.Network, xs []*tensor.Dense, ys []int, threshold float64) (*Result, error) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	orig, err := n.Accuracy(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("scaling: original accuracy: %w", err)
+	}
+	res := &Result{OriginalAccuracy: orig}
+	for f := 0; ; f++ {
+		rounded, err := RoundParams(n, f)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := rounded.Accuracy(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("scaling: accuracy at f=%d: %w", f, err)
+		}
+		res.Sweep = append(res.Sweep, acc)
+		if math.Abs(orig-acc) < threshold || f == MaxExponent {
+			res.Exponent = f
+			res.Factor = pow10(f)
+			res.ScaledAccuracy = acc
+			return res, nil
+		}
+	}
+}
+
+// Sweep evaluates the rounded model's accuracy for every exponent
+// 0..MaxExponent on the given set — the data behind Tables IV and V.
+func Sweep(n *nn.Network, xs []*tensor.Dense, ys []int) ([]float64, error) {
+	out := make([]float64, MaxExponent+1)
+	for f := 0; f <= MaxExponent; f++ {
+		rounded, err := RoundParams(n, f)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := rounded.Accuracy(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		out[f] = acc
+	}
+	return out, nil
+}
+
+func pow10(f int) int64 {
+	v := int64(1)
+	for i := 0; i < f; i++ {
+		v *= 10
+	}
+	return v
+}
+
+// Pow10 exposes the integer power of ten used for a given exponent.
+func Pow10(f int) int64 { return pow10(f) }

@@ -1,0 +1,152 @@
+package scaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/tensor"
+)
+
+func testNet(t *testing.T) *nn.Network {
+	r := rand.New(rand.NewSource(81))
+	net, err := nn.NewNetwork("scale-test", tensor.Shape{3},
+		nn.NewFC("fc1", 3, 5, r),
+		nn.NewReLU("relu"),
+		nn.NewFC("fc2", 5, 2, r),
+		nn.NewSoftMax("sm"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func selfLabelled(t *testing.T, net *nn.Network, n int) ([]*tensor.Dense, []int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(82))
+	xs := make([]*tensor.Dense, n)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		x := tensor.Zeros(3)
+		for j := range x.Data() {
+			x.Data()[j] = r.NormFloat64()
+		}
+		pred, err := net.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i], ys[i] = x, pred
+	}
+	return xs, ys
+}
+
+func TestPow10(t *testing.T) {
+	want := []int64{1, 10, 100, 1000, 10000, 100000, 1000000}
+	for f, w := range want {
+		if Pow10(f) != w {
+			t.Errorf("Pow10(%d) = %d", f, Pow10(f))
+		}
+	}
+}
+
+func TestRoundParams(t *testing.T) {
+	net := testNet(t)
+	fc := net.Layers[0].(*nn.FC)
+	fc.W.SetFlat(0, 0.123456789)
+	rounded, err := RoundParams(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rounded.Layers[0].(*nn.FC).W.AtFlat(0)
+	if math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("rounded to %v, want 0.12", got)
+	}
+	// original untouched
+	if fc.W.AtFlat(0) != 0.123456789 {
+		t.Error("RoundParams mutated the original network")
+	}
+	if _, err := RoundParams(net, -1); err == nil {
+		t.Error("negative places accepted")
+	}
+	// f=0 rounds to integers
+	r0, _ := RoundParams(net, 0)
+	for _, p := range r0.Params() {
+		for _, v := range p.Data() {
+			if v != math.Round(v) {
+				t.Fatalf("f=0 left non-integer %v", v)
+			}
+		}
+	}
+}
+
+func TestRoundParamsCoversBatchNormStats(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	bn := nn.NewBatchNorm("bn", 2)
+	bn.Mean = tensor.MustFromSlice([]float64{0.12345, 1.98765}, 2)
+	net, err := nn.NewNetwork("bn-net", tensor.Shape{2},
+		nn.NewFC("fc", 2, 2, r), bn, nn.NewReLU("relu"),
+		nn.NewFC("fc2", 2, 2, r), nn.NewSoftMax("sm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded, err := RoundParams(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rounded.Layers[1].(*nn.BatchNorm).Mean.AtFlat(0)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("BN mean rounded to %v, want 0.1", got)
+	}
+}
+
+func TestSelectFactorConverges(t *testing.T) {
+	net := testNet(t)
+	xs, ys := selfLabelled(t, net, 30)
+	res, err := SelectFactor(net, xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are the model's own predictions: original accuracy is 1.
+	if res.OriginalAccuracy != 1 {
+		t.Errorf("original accuracy %v", res.OriginalAccuracy)
+	}
+	if res.Exponent < 0 || res.Exponent > MaxExponent {
+		t.Errorf("exponent %d out of range", res.Exponent)
+	}
+	if res.Factor != Pow10(res.Exponent) {
+		t.Errorf("factor %d != 10^%d", res.Factor, res.Exponent)
+	}
+	// At the selected factor, accuracy must be within the threshold (or
+	// f hit the cap).
+	if res.Exponent < MaxExponent && math.Abs(res.OriginalAccuracy-res.ScaledAccuracy) >= DefaultThreshold {
+		t.Errorf("selected factor misses threshold: %v vs %v", res.ScaledAccuracy, res.OriginalAccuracy)
+	}
+	if len(res.Sweep) != res.Exponent+1 {
+		t.Errorf("sweep has %d entries for exponent %d", len(res.Sweep), res.Exponent)
+	}
+}
+
+func TestSweepMonotoneTail(t *testing.T) {
+	net := testNet(t)
+	xs, ys := selfLabelled(t, net, 25)
+	sweep, err := Sweep(net, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != MaxExponent+1 {
+		t.Fatalf("sweep length %d", len(sweep))
+	}
+	// The last entries (high precision) must reach the original accuracy.
+	if sweep[MaxExponent] != 1 {
+		t.Errorf("accuracy at 10^6 = %v, want 1 (self-labelled)", sweep[MaxExponent])
+	}
+}
+
+func TestSelectFactorErrors(t *testing.T) {
+	net := testNet(t)
+	if _, err := SelectFactor(net, nil, nil, 0); err == nil {
+		t.Error("empty selection set accepted")
+	}
+}

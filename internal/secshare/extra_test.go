@@ -1,0 +1,95 @@
+package secshare
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestMatVecPrivateMatchesPublic: with the same weights, the
+// private-weight path (Beaver triples) and the public-weight path agree.
+func TestMatVecPrivateMatchesPublic(t *testing.T) {
+	w := [][]float64{{0.5, -1, 2}, {1, 1, 1}}
+	bias := []float64{0.25, -0.5}
+	vals := []float64{1.5, -2, 0.75}
+
+	ePub := NewEngine(21)
+	xPub := ePub.ShareVec(vals)
+	pub, err := ePub.MatVec(w, bias, xPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubOut := ePub.OpenVec(pub)
+
+	ePriv := NewEngine(22)
+	xPriv := ePriv.ShareVec(vals)
+	priv, err := ePriv.MatVecPrivate(w, bias, xPriv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privOut := ePriv.OpenVec(priv)
+
+	for i := range pubOut {
+		if math.Abs(pubOut[i]-privOut[i]) > 0.01 {
+			t.Errorf("row %d: public %v vs private %v", i, pubOut[i], privOut[i])
+		}
+	}
+	// The private path must consume triples (weights hidden); the
+	// public path must not.
+	if ePriv.Stats.TriplesUsed == 0 {
+		t.Error("private path consumed no triples")
+	}
+	if ePub.Stats.TriplesUsed != 0 {
+		t.Error("public path consumed triples")
+	}
+}
+
+// Property: private dot products track float arithmetic for bounded
+// random vectors.
+func TestDotPrivateProperty(t *testing.T) {
+	f := func(seed int64, wRaw, xRaw []int16) bool {
+		n := len(wRaw)
+		if len(xRaw) < n {
+			n = len(xRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 32 {
+			n = 32
+		}
+		e := NewEngine(seed)
+		w := make([]float64, n)
+		xs := make([]float64, n)
+		var want float64
+		for i := 0; i < n; i++ {
+			w[i] = float64(wRaw[i]) / 1024
+			xs[i] = float64(xRaw[i]) / 1024
+			want += w[i] * xs[i]
+		}
+		shares := e.ShareVec(xs)
+		dot, err := e.DotPrivate(w, shares, 0)
+		if err != nil {
+			return false
+		}
+		got := Decode(dot.Reconstruct())
+		return math.Abs(got-want) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDealerDeterminism(t *testing.T) {
+	a := NewDealer(5)
+	b := NewDealer(5)
+	for i := 0; i < 10; i++ {
+		ta, tb := a.Triple(), b.Triple()
+		if ta.A.Reconstruct() != tb.A.Reconstruct() || ta.C.Reconstruct() != tb.C.Reconstruct() {
+			t.Fatal("dealer not deterministic for equal seeds")
+		}
+		if ta.A.Reconstruct()*ta.B.Reconstruct() != ta.C.Reconstruct() {
+			t.Fatal("triple invariant c = a·b violated")
+		}
+	}
+}

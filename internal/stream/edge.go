@@ -1,0 +1,213 @@
+package stream
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrEdgeClosed is returned by Recv once the sender has closed the edge
+// and all buffered messages are drained.
+var ErrEdgeClosed = errors.New("stream: edge closed")
+
+// Edge is a one-directional message link between stages. In-process edges
+// are channels; TCP edges carry gob frames between servers.
+type Edge interface {
+	// Send delivers a message, blocking while the edge is full.
+	Send(ctx context.Context, m *Message) error
+	// Recv returns the next message, blocking until one arrives, the
+	// sender closes (ErrEdgeClosed), or ctx is cancelled.
+	Recv(ctx context.Context) (*Message, error)
+	// CloseSend signals end-of-stream to the receiver. Idempotent.
+	CloseSend() error
+}
+
+// channelEdge is the in-process edge: a bounded channel.
+type channelEdge struct {
+	ch        chan *Message
+	closeOnce sync.Once
+}
+
+// NewChannelEdge creates an in-process edge with the given buffer depth
+// (minimum 1). The bound provides back-pressure between pipeline stages.
+func NewChannelEdge(buffer int) Edge {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &channelEdge{ch: make(chan *Message, buffer)}
+}
+
+func (e *channelEdge) Send(ctx context.Context, m *Message) error {
+	select {
+	case e.ch <- m:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *channelEdge) Recv(ctx context.Context) (*Message, error) {
+	select {
+	case m, ok := <-e.ch:
+		if !ok {
+			return nil, ErrEdgeClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *channelEdge) CloseSend() error {
+	e.closeOnce.Do(func() { close(e.ch) })
+	return nil
+}
+
+// wireFrame is the gob envelope for TCP edges. Close frames carry no
+// payload.
+type wireFrame struct {
+	Seq     uint64
+	Err     string
+	Close   bool
+	Payload any
+}
+
+// tcpEdge carries messages over a TCP connection using gob encoding.
+// Payload concrete types must be registered with gob (RegisterWireType).
+type tcpEdge struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// RegisterWireType registers a payload type for TCP transport. Call once
+// per concrete payload type before dialing/listening.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// NewTCPEdge wraps an established connection as an Edge. The caller is
+// responsible for pairing one sender and one receiver per connection.
+func NewTCPEdge(conn net.Conn) Edge {
+	return &tcpEdge{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// DialEdge connects to a listening edge.
+func DialEdge(addr string) (Edge, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dialing %s: %w", addr, err)
+	}
+	return NewTCPEdge(conn), nil
+}
+
+// ListenEdge accepts exactly one connection on addr and wraps it as an
+// Edge. It returns the bound address (useful with ":0") via the returned
+// listener-address string.
+func ListenEdge(addr string) (Edge, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("stream: listening on %s: %w", addr, err)
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		conn, err := l.Accept()
+		l.Close()
+		if err != nil {
+			ch <- acceptResult{nil, err}
+			return
+		}
+		ch <- acceptResult{NewTCPEdge(conn), nil}
+	}()
+	return &pendingEdge{ch: ch}, l.Addr().String(), nil
+}
+
+type acceptResult struct {
+	edge Edge
+	err  error
+}
+
+// pendingEdge defers to the accepted TCP edge once the peer connects.
+type pendingEdge struct {
+	ch   chan acceptResult
+	mu   sync.Mutex
+	edge Edge
+	err  error
+}
+
+func (p *pendingEdge) resolve() (Edge, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.edge == nil && p.err == nil {
+		r := <-p.ch
+		p.edge, p.err = r.edge, r.err
+	}
+	return p.edge, p.err
+}
+
+func (p *pendingEdge) Send(ctx context.Context, m *Message) error {
+	e, err := p.resolve()
+	if err != nil {
+		return err
+	}
+	return e.Send(ctx, m)
+}
+
+func (p *pendingEdge) Recv(ctx context.Context) (*Message, error) {
+	e, err := p.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return e.Recv(ctx)
+}
+
+func (p *pendingEdge) CloseSend() error {
+	e, err := p.resolve()
+	if err != nil {
+		return err
+	}
+	return e.CloseSend()
+}
+
+func (e *tcpEdge) Send(ctx context.Context, m *Message) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	frame := wireFrame{Seq: m.Seq, Err: m.Err, Payload: m.Payload}
+	if err := e.enc.Encode(&frame); err != nil {
+		return fmt.Errorf("stream: tcp send: %w", err)
+	}
+	return nil
+}
+
+func (e *tcpEdge) Recv(ctx context.Context) (*Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var frame wireFrame
+	if err := e.dec.Decode(&frame); err != nil {
+		return nil, fmt.Errorf("stream: tcp recv: %w", err)
+	}
+	if frame.Close {
+		return nil, ErrEdgeClosed
+	}
+	return &Message{Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload}, nil
+}
+
+func (e *tcpEdge) CloseSend() error {
+	e.closeOnce.Do(func() {
+		e.sendMu.Lock()
+		defer e.sendMu.Unlock()
+		if err := e.enc.Encode(&wireFrame{Close: true}); err != nil {
+			e.closeErr = err
+		}
+	})
+	return e.closeErr
+}

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPanicContainment verifies that a panicking handler fails only its
+// request: the stage survives and keeps serving the stream.
+func TestPanicContainment(t *testing.T) {
+	h := HandlerFunc{StageName: "panicky", Fn: func(_ context.Context, m *Message) (*Message, error) {
+		if m.Payload.(int) == 2 {
+			panic("boom on request 2")
+		}
+		return m, nil
+	}}
+	p, err := NewPipeline(2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 5; i++ {
+			p.Submit(ctx, i)
+		}
+		p.Close()
+	}()
+	var failed, ok int
+	for i := 0; i < 5; i++ {
+		m, err := p.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Err != "" {
+			failed++
+			if !strings.Contains(m.Err, "panic") || !strings.Contains(m.Err, "boom") {
+				t.Errorf("panic cause lost: %q", m.Err)
+			}
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 4 {
+		t.Errorf("failed=%d ok=%d, want 1/4 — panic not contained to its request", failed, ok)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("pipeline died from a handler panic: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package stream is PP-Stream's distributed stream processing substrate,
+// standing in for the AF-Stream system the paper's prototype builds on.
+// Inference requests are treated as a real-time data stream flowing
+// through pipelined stages; each stage owns a pool of worker threads that
+// parallelize tensor processing inside one request, while different
+// requests occupy different stages simultaneously (pipeline parallelism).
+//
+// Stages connect through Edges. The in-process edge is a bounded channel;
+// the TCP edge carries gob-encoded frames between processes/servers, so
+// the same pipeline runs single-process or genuinely distributed.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one unit flowing through the pipeline: an inference request
+// (or its intermediate tensor) tagged with a sequence number.
+type Message struct {
+	// Seq orders requests; stages preserve arrival order per edge.
+	Seq uint64
+	// Payload is stage-specific data. For TCP edges the concrete type
+	// must be gob-registered.
+	Payload any
+	// Err carries a processing failure downstream so the submitter
+	// learns about it; stages pass errored messages through untouched.
+	Err string
+	// Enqueued is stamped when the message enters an edge, feeding the
+	// queue-wait metric.
+	Enqueued time.Time
+}
+
+// Handler processes one message. Implementations parallelize internally
+// across the stage's worker threads.
+type Handler interface {
+	// Name identifies the handler for logs and metrics.
+	Name() string
+	// Process consumes a message and produces the next one. It must be
+	// safe to call sequentially from the stage's dispatch goroutine.
+	Process(ctx context.Context, m *Message) (*Message, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc struct {
+	StageName string
+	Fn        func(ctx context.Context, m *Message) (*Message, error)
+}
+
+// Name implements Handler.
+func (h HandlerFunc) Name() string { return h.StageName }
+
+// Process implements Handler.
+func (h HandlerFunc) Process(ctx context.Context, m *Message) (*Message, error) {
+	return h.Fn(ctx, m)
+}
+
+// Metrics aggregates a stage's runtime counters. All fields are updated
+// atomically and may be read concurrently.
+type Metrics struct {
+	Processed atomic.Uint64
+	Errors    atomic.Uint64
+	// BusyNanos accumulates handler execution time.
+	BusyNanos atomic.Int64
+	// WaitNanos accumulates time messages spent queued before this
+	// stage.
+	WaitNanos atomic.Int64
+}
+
+// Snapshot returns a plain-values copy.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Processed: m.Processed.Load(),
+		Errors:    m.Errors.Load(),
+		Busy:      time.Duration(m.BusyNanos.Load()),
+		Wait:      time.Duration(m.WaitNanos.Load()),
+	}
+}
+
+// MetricsSnapshot is a point-in-time view of stage metrics.
+type MetricsSnapshot struct {
+	Processed uint64
+	Errors    uint64
+	Busy      time.Duration
+	Wait      time.Duration
+}
+
+// Stage runs a handler between an input and an output edge.
+type Stage struct {
+	name    string
+	handler Handler
+	in      Edge
+	out     Edge
+	metrics Metrics
+}
+
+// NewStage creates a stage. Both edges must be non-nil.
+func NewStage(name string, h Handler, in, out Edge) (*Stage, error) {
+	if h == nil {
+		return nil, fmt.Errorf("stream: stage %s has no handler", name)
+	}
+	if in == nil || out == nil {
+		return nil, fmt.Errorf("stream: stage %s needs both edges", name)
+	}
+	return &Stage{name: name, handler: h, in: in, out: out}, nil
+}
+
+// Name returns the stage name.
+func (s *Stage) Name() string { return s.name }
+
+// Metrics exposes the stage's counters.
+func (s *Stage) Metrics() *Metrics { return &s.metrics }
+
+// run dispatches messages until the input edge closes or ctx is
+// cancelled. A handler error converts the message into an errored one
+// that keeps flowing so the submitter sees the failure; the stage keeps
+// serving subsequent requests (fault containment).
+func (s *Stage) run(ctx context.Context) error {
+	for {
+		m, err := s.in.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, ErrEdgeClosed) || errors.Is(err, context.Canceled) {
+				return s.out.CloseSend()
+			}
+			return fmt.Errorf("stream: stage %s recv: %w", s.name, err)
+		}
+		if !m.Enqueued.IsZero() {
+			s.metrics.WaitNanos.Add(time.Since(m.Enqueued).Nanoseconds())
+		}
+		var next *Message
+		if m.Err != "" {
+			next = m // pass failures through untouched
+		} else {
+			start := time.Now()
+			out, perr := s.process(ctx, m)
+			s.metrics.BusyNanos.Add(time.Since(start).Nanoseconds())
+			if perr != nil {
+				s.metrics.Errors.Add(1)
+				next = &Message{Seq: m.Seq, Err: fmt.Sprintf("stage %s: %v", s.name, perr)}
+			} else {
+				s.metrics.Processed.Add(1)
+				next = out
+				next.Seq = m.Seq
+			}
+		}
+		next.Enqueued = time.Now()
+		if err := s.out.Send(ctx, next); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil
+			}
+			return fmt.Errorf("stream: stage %s send: %w", s.name, err)
+		}
+	}
+}
+
+// process invokes the handler with panic containment: a panicking
+// handler fails only the current request (surfaced as its error), and
+// the stage keeps serving subsequent requests — the fault-containment
+// behaviour the AF-Stream substrate provides in the paper's prototype.
+func (s *Stage) process(ctx context.Context, m *Message) (out *Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	return s.handler.Process(ctx, m)
+}
+
+// Pipeline is an ordered chain of stages fed by Submit and drained by
+// Results.
+type Pipeline struct {
+	stages []*Stage
+	first  Edge
+	last   Edge
+
+	mu      sync.Mutex
+	seq     uint64
+	started bool
+	done    chan struct{}
+	runErr  error
+}
+
+// NewPipeline chains handlers with fresh in-process edges of the given
+// buffer depth. For custom (e.g. TCP) edges assemble stages manually and
+// use Assemble.
+func NewPipeline(buffer int, handlers ...Handler) (*Pipeline, error) {
+	if len(handlers) == 0 {
+		return nil, errors.New("stream: pipeline needs at least one stage")
+	}
+	edges := make([]Edge, len(handlers)+1)
+	for i := range edges {
+		edges[i] = NewChannelEdge(buffer)
+	}
+	stages := make([]*Stage, len(handlers))
+	for i, h := range handlers {
+		st, err := NewStage(h.Name(), h, edges[i], edges[i+1])
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = st
+	}
+	return Assemble(stages, edges[0], edges[len(edges)-1])
+}
+
+// Assemble builds a pipeline from externally wired stages. first is the
+// edge Submit writes to; last is the edge Results drains.
+func Assemble(stages []*Stage, first, last Edge) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("stream: no stages")
+	}
+	if first == nil || last == nil {
+		return nil, errors.New("stream: pipeline needs boundary edges")
+	}
+	return &Pipeline{stages: stages, first: first, last: last, done: make(chan struct{})}, nil
+}
+
+// Start launches all stage goroutines. It returns immediately; Wait or
+// Results report completion.
+func (p *Pipeline) Start(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return errors.New("stream: pipeline already started")
+	}
+	p.started = true
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(p.stages))
+	for _, st := range p.stages {
+		wg.Add(1)
+		go func(st *Stage) {
+			defer wg.Done()
+			if err := st.run(ctx); err != nil {
+				errCh <- err
+			}
+		}(st)
+	}
+	go func() {
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if err != nil && p.runErr == nil {
+				p.runErr = err
+			}
+		}
+		close(p.done)
+	}()
+	return nil
+}
+
+// Submit enqueues a payload as the next request and returns its sequence
+// number.
+func (p *Pipeline) Submit(ctx context.Context, payload any) (uint64, error) {
+	p.mu.Lock()
+	seq := p.seq
+	p.seq++
+	p.mu.Unlock()
+	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now()}
+	if err := p.first.Send(ctx, m); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Close signals that no more requests will be submitted; stages drain and
+// shut down in order.
+func (p *Pipeline) Close() error { return p.first.CloseSend() }
+
+// Recv returns the next completed message (possibly carrying an Err).
+func (p *Pipeline) Recv(ctx context.Context) (*Message, error) {
+	return p.last.Recv(ctx)
+}
+
+// Wait blocks until all stages have exited and returns the first stage
+// error, if any.
+func (p *Pipeline) Wait() error {
+	<-p.done
+	return p.runErr
+}
+
+// Stages exposes the pipeline's stages for metrics inspection.
+func (p *Pipeline) Stages() []*Stage { return p.stages }

@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// Tensor is a dense, row-major multi-dimensional array over an arbitrary
+// element type. PP-Stream instantiates it with float64 (plaintext values),
+// int64 (scaled integer parameters), and ciphertext pointer types.
+type Tensor[T any] struct {
+	shape Shape
+	data  []T
+}
+
+// New allocates a zero-valued tensor with the given shape.
+func New[T any](shape ...int) *Tensor[T] {
+	s := Shape(shape).Clone()
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tensor[T]{shape: s, data: make([]T, s.Size())}
+}
+
+// FromSlice wraps an existing flat slice in a tensor of the given shape.
+// The slice is used directly (not copied); len(data) must equal the shape
+// size.
+func FromSlice[T any](data []T, shape ...int) (*Tensor[T], error) {
+	s := Shape(shape).Clone()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != s.Size() {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (size %d)", len(data), s, s.Size())
+	}
+	return &Tensor[T]{shape: s, data: data}, nil
+}
+
+// MustFromSlice is FromSlice but panics on error; convenient in tests and
+// literals.
+func MustFromSlice[T any](data []T, shape ...int) *Tensor[T] {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns the tensor's shape. The returned slice must not be
+// modified.
+func (t *Tensor[T]) Shape() Shape { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Tensor[T]) Size() int { return len(t.data) }
+
+// Data returns the flat backing slice in row-major order. Mutating it
+// mutates the tensor.
+func (t *Tensor[T]) Data() []T { return t.data }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor[T]) At(idx ...int) T { return t.data[t.shape.Offset(idx...)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor[T]) Set(v T, idx ...int) { t.data[t.shape.Offset(idx...)] = v }
+
+// AtFlat returns the element at a flat row-major offset.
+func (t *Tensor[T]) AtFlat(i int) T { return t.data[i] }
+
+// SetFlat stores v at a flat row-major offset.
+func (t *Tensor[T]) SetFlat(i int, v T) { t.data[i] = v }
+
+// Clone returns a deep copy of the tensor structure. Element values are
+// copied with assignment; pointer element types therefore still alias the
+// pointed-to values.
+func (t *Tensor[T]) Clone() *Tensor[T] {
+	data := make([]T, len(t.data))
+	copy(data, t.data)
+	return &Tensor[T]{shape: t.shape.Clone(), data: data}
+}
+
+// Reshape returns a view of the same backing data under a new shape with
+// an equal number of elements. This is the paper's "reshape T into a
+// one-dimensional vector v" primitive (Section III-C) generalized to any
+// target shape.
+func (t *Tensor[T]) Reshape(shape ...int) (*Tensor[T], error) {
+	s := Shape(shape).Clone()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Size() != len(t.data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (size %d) to %v (size %d)", t.shape, len(t.data), s, s.Size())
+	}
+	return &Tensor[T]{shape: s, data: t.data}, nil
+}
+
+// Flatten returns a rank-1 view of the tensor in lexicographic order.
+func (t *Tensor[T]) Flatten() *Tensor[T] {
+	flat, _ := t.Reshape(len(t.data))
+	return flat
+}
+
+// Map applies f to every element, returning a new tensor of the same
+// shape.
+func Map[T, U any](t *Tensor[T], f func(T) U) *Tensor[U] {
+	out := make([]U, len(t.data))
+	for i, v := range t.data {
+		out[i] = f(v)
+	}
+	return &Tensor[U]{shape: t.shape.Clone(), data: out}
+}
+
+// Zip combines two same-shaped tensors element-wise.
+func Zip[A, B, C any](a *Tensor[A], b *Tensor[B], f func(A, B) C) (*Tensor[C], error) {
+	if !a.shape.Equal(b.shape) {
+		return nil, fmt.Errorf("tensor: shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := make([]C, len(a.data))
+	for i := range a.data {
+		out[i] = f(a.data[i], b.data[i])
+	}
+	return &Tensor[C]{shape: a.shape.Clone(), data: out}, nil
+}
+
+// Fill sets every element to v.
+func (t *Tensor[T]) Fill(v T) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}

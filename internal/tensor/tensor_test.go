@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New[float64](2, 3)
+	m.Set(7, 1, 2)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v, want 7", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("zero value not zero: %v", got)
+	}
+	if m.Size() != 6 {
+		t.Errorf("Size = %d, want 6", m.Size())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice([]int{1, 2, 3}, 2, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	ten, err := FromSlice([]int{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.At(1, 0) != 3 {
+		t.Errorf("row-major order violated: At(1,0) = %d", ten.At(1, 0))
+	}
+	if _, err := FromSlice([]int{1}, 0); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestMustFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustFromSlice([]int{1, 2}, 3)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := MustFromSlice([]int{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, err := a.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Error("reshape did not share backing data")
+	}
+	if _, err := a.Reshape(4, 2); err == nil {
+		t.Error("size-changing reshape accepted")
+	}
+}
+
+func TestFlattenOrder(t *testing.T) {
+	a := MustFromSlice([]int{1, 2, 3, 4, 5, 6}, 2, 3)
+	flat := a.Flatten()
+	if flat.Shape().Rank() != 1 || flat.Size() != 6 {
+		t.Fatalf("Flatten shape = %v", flat.Shape())
+	}
+	for i, want := range []int{1, 2, 3, 4, 5, 6} {
+		if flat.AtFlat(i) != want {
+			t.Errorf("lexicographic order violated at %d: %d", i, flat.AtFlat(i))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromSlice([]int{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Set(42, 0, 0)
+	if a.At(0, 0) == 42 {
+		t.Error("clone shares data with original")
+	}
+}
+
+func TestMapZip(t *testing.T) {
+	a := MustFromSlice([]int{1, 2, 3}, 3)
+	doubled := Map(a, func(x int) int { return 2 * x })
+	if doubled.At(2) != 6 {
+		t.Errorf("Map result wrong: %v", doubled.Data())
+	}
+	b := MustFromSlice([]int{10, 20, 30}, 3)
+	sum, err := Zip(a, b, func(x, y int) int { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1) != 22 {
+		t.Errorf("Zip result wrong: %v", sum.Data())
+	}
+	c := MustFromSlice([]int{1}, 1)
+	if _, err := Zip(a, c, func(x, y int) int { return 0 }); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestFill(t *testing.T) {
+	a := New[int](2, 2)
+	a.Fill(5)
+	for _, v := range a.Data() {
+		if v != 5 {
+			t.Fatalf("Fill left %d", v)
+		}
+	}
+}
+
+// Property: reshape round-trip preserves flat data exactly.
+func TestReshapeRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := MustFromSlice(vals, len(vals))
+		b, err := a.Reshape(len(vals), 1)
+		if err != nil {
+			return false
+		}
+		c, err := b.Reshape(len(vals))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if c.AtFlat(i) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
