@@ -45,6 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fig9     tensor partitioning on/off\n")
 		fmt.Fprintf(os.Stderr, "  table6   obfuscation leakage (distance correlation)\n")
 		fmt.Fprintf(os.Stderr, "  table7   comparison with state-of-the-art systems\n")
+		fmt.Fprintf(os.Stderr, "  stages   per-stage latency percentiles (p50/p95/p99) from real streaming runs\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -130,8 +131,19 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(res.Render())
+	case "stages":
+		results, err := experiments.StageBreakdowns(cfg)
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(res.Render())
+		}
 	case "all":
-		for _, sub := range []string{"fig1", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7"} {
+		for _, sub := range []string{"fig1", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {
 			if err := run(sub, cfg); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}

@@ -6,9 +6,14 @@
 // Usage:
 //
 //	ppinfer -model models/Heart.gob [-keybits 512] [-cores 8] [-input 1.2,0.3,...]
+//
+// With -stream N, it additionally runs N requests through the real
+// streaming pipeline and prints the measured per-stage latency
+// percentile table (queue wait + busy, p50/p95/p99).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"ppstream"
+	"ppstream/internal/experiments"
 	"ppstream/internal/models"
 )
 
@@ -24,18 +30,19 @@ func main() {
 	keyBits := flag.Int("keybits", 512, "Paillier key size")
 	cores := flag.Int("cores", 8, "total cores across the deployment")
 	inputCSV := flag.String("input", "", "comma-separated input values (default: a synthetic test sample)")
+	streamN := flag.Int("stream", 0, "also stream N requests through the pipeline and print per-stage percentiles")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*modelPath, *keyBits, *cores, *inputCSV); err != nil {
+	if err := run(*modelPath, *keyBits, *cores, *inputCSV, *streamN); err != nil {
 		fmt.Fprintf(os.Stderr, "ppinfer: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath string, keyBits, cores int, inputCSV string) error {
+func run(modelPath string, keyBits, cores int, inputCSV string, streamN int) error {
 	net, err := ppstream.LoadModel(modelPath)
 	if err != nil {
 		return err
@@ -139,6 +146,19 @@ func run(modelPath string, keyBits, cores int, inputCSV string) error {
 	if sim, err := eng.Simulate(8); err == nil {
 		fmt.Printf("modelled streaming latency at %d cores: %v/request (bottleneck %v)\n",
 			topo.TotalCores(), sim.Effective, sim.Bottleneck)
+	}
+	if streamN > 0 {
+		inputs := make([]*ppstream.Tensor, streamN)
+		for i := range inputs {
+			inputs[i] = x
+		}
+		_, stats, err := eng.InferStream(context.Background(), inputs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstreamed %d requests: makespan %v, effective latency %v/request\n",
+			stats.Requests, stats.Makespan, stats.EffectiveLatency)
+		fmt.Print(experiments.BreakdownFromTraces(net.ModelName, stats.Traces).Render())
 	}
 	return nil
 }

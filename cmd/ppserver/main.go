@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	ppserver -model models/Heart.gob -listen :7100 -factor 10000
+//	ppserver -model models/Heart.gob -listen :7100 -factor 10000 -metrics :7200
+//
+// With -metrics set, a JSON snapshot of the server's registry (session
+// counts, per-round latency percentiles, TCP byte/frame counters) is
+// served at http://<addr>/metrics, and pprof at /debug/pprof/.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"ppstream"
+	"ppstream/internal/obs"
 	"ppstream/internal/protocol"
 	"ppstream/internal/stream"
 )
@@ -27,6 +32,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7100", "listen address")
 	factor := flag.Int64("factor", 10000, "agreed parameter scaling factor")
 	maxWorkers := flag.Int("maxworkers", 8, "per-stage thread cap per session")
+	metricsAddr := flag.String("metrics", "", "serve JSON metrics + pprof on this address (e.g. :7200; empty disables)")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -37,6 +43,16 @@ func main() {
 		log.Fatalf("ppserver: %v", err)
 	}
 	protocol.RegisterServiceWire()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry("ppserver")
+		bound, _, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("ppserver: %v", err)
+		}
+		fmt.Printf("ppserver: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -53,9 +69,14 @@ func main() {
 		}
 		go func(conn net.Conn) {
 			defer conn.Close()
-			edge := stream.NewTCPEdge(conn)
+			var edge stream.Edge
+			if reg != nil {
+				edge = stream.NewInstrumentedTCPEdge(conn, reg, "tcp")
+			} else {
+				edge = stream.NewTCPEdge(conn)
+			}
 			fmt.Printf("ppserver: session from %s\n", conn.RemoteAddr())
-			if err := protocol.ServeSession(ctx, edge, edge, netModel, *factor, *maxWorkers); err != nil {
+			if err := protocol.ServeSessionObserved(ctx, edge, edge, netModel, *factor, *maxWorkers, reg); err != nil {
 				log.Printf("ppserver: session %s: %v", conn.RemoteAddr(), err)
 				return
 			}

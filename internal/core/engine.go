@@ -13,6 +13,7 @@ import (
 
 	"ppstream/internal/alloc"
 	"ppstream/internal/nn"
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
 	"ppstream/internal/protocol"
 	"ppstream/internal/simulate"
@@ -94,6 +95,7 @@ type Engine struct {
 	opts        Options
 	pool        *paillier.Pool
 	keyBits     int
+	reg         *obs.Registry
 }
 
 // NewEngine builds the engine: protocol construction, offline profiling,
@@ -121,7 +123,11 @@ func NewEngine(net *nn.Network, key *paillier.PrivateKey, opts Options) (*Engine
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{Net: net, Protocol: proto, opts: opts, pool: pool, Servers: opts.Topology.Servers(), keyBits: key.Bits()}
+	e := &Engine{
+		Net: net, Protocol: proto, opts: opts, pool: pool,
+		Servers: opts.Topology.Servers(), keyBits: key.Bits(),
+		reg: obs.NewRegistry("engine/" + net.ModelName),
+	}
 
 	// Offline profiling (Section IV-C): execute each merged stage once
 	// per rep with a single thread and record T_i — unless a previous
@@ -168,6 +174,15 @@ func (e *Engine) Close() {
 		e.pool.Close()
 	}
 }
+
+// Registry exposes the engine's metrics registry. Every pipeline built
+// by Pipeline/InferStream publishes its per-stage latency histograms and
+// queue-depth gauges here, so histograms accumulate across runs.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Stats returns a point-in-time snapshot of the engine's metrics — the
+// view cmd tools print and the metrics endpoint serves.
+func (e *Engine) Stats() obs.Snapshot { return e.reg.Snapshot() }
 
 // profile measures per-merged-stage times by walking the protocol rounds
 // sequentially with single-threaded stages. It also records the input
@@ -386,7 +401,12 @@ func (e *Engine) Pipeline() (*stream.Pipeline, error) {
 			},
 		})
 	}
-	return stream.NewPipeline(e.opts.Buffer, handlers...)
+	p, err := stream.NewPipeline(e.opts.Buffer, handlers...)
+	if err != nil {
+		return nil, err
+	}
+	p.Instrument(e.reg)
+	return p, nil
 }
 
 // StreamStats summarizes a streaming run.
@@ -402,6 +422,10 @@ type StreamStats struct {
 	// FirstLatency is the end-to-end latency of the first request (no
 	// pipelining benefit).
 	FirstLatency time.Duration
+	// Traces holds each completed request's per-stage latency breakdown
+	// (queue wait + busy per stage), indexed by sequence number — the
+	// raw material for the Table IV/V-style percentile tables.
+	Traces []*stream.Trace
 }
 
 // InferStream runs a batch of inputs through the streaming pipeline and
@@ -430,6 +454,7 @@ func (e *Engine) InferStream(ctx context.Context, inputs []*tensor.Dense) ([]*te
 		p.Close()
 	}()
 	results := make([]*tensor.Dense, len(inputs))
+	traces := make([]*stream.Trace, len(inputs))
 	var firstLatency time.Duration
 	for i := 0; i < len(inputs); i++ {
 		m, err := p.Recv(ctx)
@@ -447,6 +472,7 @@ func (e *Engine) InferStream(ctx context.Context, inputs []*tensor.Dense) ([]*te
 			return nil, nil, fmt.Errorf("core: unexpected sequence %d", m.Seq)
 		}
 		results[m.Seq] = env.Result
+		traces[m.Seq] = m.Trace
 		if i == 0 {
 			firstLatency = time.Since(start)
 		}
@@ -463,6 +489,7 @@ func (e *Engine) InferStream(ctx context.Context, inputs []*tensor.Dense) ([]*te
 		Makespan:         makespan,
 		EffectiveLatency: makespan / time.Duration(len(inputs)),
 		FirstLatency:     firstLatency,
+		Traces:           traces,
 	}
 	return results, stats, nil
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppstream/internal/stream"
+)
+
+func TestBreakdownFromTraces(t *testing.T) {
+	mk := func(encBusy, linBusy time.Duration) *stream.Trace {
+		return &stream.Trace{Spans: []stream.Span{
+			{Stage: "encrypt", Wait: time.Millisecond, Busy: encBusy},
+			{Stage: "linear-0", Wait: 2 * time.Millisecond, Busy: linBusy},
+		}}
+	}
+	traces := []*stream.Trace{
+		mk(10*time.Millisecond, 40*time.Millisecond),
+		mk(12*time.Millisecond, 44*time.Millisecond),
+		nil, // a dropped/errored request must not break aggregation
+		mk(11*time.Millisecond, 42*time.Millisecond),
+	}
+	res := BreakdownFromTraces("Heart", traces)
+	if res.Requests != 3 {
+		t.Fatalf("requests %d, want 3", res.Requests)
+	}
+	if len(res.Stages) != 2 || res.Stages[0].Stage != "encrypt" || res.Stages[1].Stage != "linear-0" {
+		t.Fatalf("stages %+v, want encrypt then linear-0", res.Stages)
+	}
+	for _, s := range res.Stages {
+		if s.Count != 3 {
+			t.Errorf("stage %s count %d, want 3", s.Stage, s.Count)
+		}
+		if s.Busy.P50 <= 0 || s.Busy.P99 < s.Busy.P50 {
+			t.Errorf("stage %s percentiles not sane: %+v", s.Stage, s.Busy)
+		}
+	}
+	// Total per-request latency ≈ 1ms+2ms wait + busy sums (53–59ms).
+	if res.Total.Count != 3 || res.Total.Min < 50*time.Millisecond || res.Total.Max > 70*time.Millisecond {
+		t.Errorf("total distribution %+v out of expected range", res.Total)
+	}
+	out := res.Render()
+	for _, want := range []string{"Heart", "encrypt", "linear-0", "TOTAL", "busy p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

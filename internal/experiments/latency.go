@@ -11,7 +11,9 @@ import (
 	"ppstream/internal/baselines"
 	"ppstream/internal/core"
 	"ppstream/internal/models"
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
+	"ppstream/internal/stream"
 )
 
 var (
@@ -134,6 +136,152 @@ func engineLatency(name string, factor int64, totalCores int, lb, part bool, cfg
 		return 0, err
 	}
 	return res.Effective, nil
+}
+
+// StageLatencyRow is one pipeline stage's latency distribution across a
+// streaming run.
+type StageLatencyRow struct {
+	Stage string
+	Count uint64
+	Wait  obs.HistogramSnapshot
+	Busy  obs.HistogramSnapshot
+}
+
+// StageBreakdownResult is a per-stage latency percentile table for one
+// model's streaming deployment — the runtime-measured analogue of the
+// paper's Table IV/V per-stage profiling, with distribution tails
+// instead of bare means.
+type StageBreakdownResult struct {
+	Model    string
+	Requests int
+	Stages   []StageLatencyRow
+	// Total is the distribution of per-request in-pipeline latency
+	// (sum of every stage's wait + busy).
+	Total obs.HistogramSnapshot
+}
+
+// BreakdownFromTraces aggregates completed-request traces into the
+// per-stage percentile table. Stage order follows the first trace.
+func BreakdownFromTraces(model string, traces []*stream.Trace) *StageBreakdownResult {
+	res := &StageBreakdownResult{Model: model}
+	waits := map[string]*obs.Histogram{}
+	busys := map[string]*obs.Histogram{}
+	var order []string
+	total := obs.NewHistogram()
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		res.Requests++
+		total.Observe(tr.Total())
+		for _, span := range tr.Spans {
+			if waits[span.Stage] == nil {
+				waits[span.Stage] = obs.NewHistogram()
+				busys[span.Stage] = obs.NewHistogram()
+				order = append(order, span.Stage)
+			}
+			waits[span.Stage].Observe(span.Wait)
+			busys[span.Stage].Observe(span.Busy)
+		}
+	}
+	for _, name := range order {
+		w, b := waits[name].Snapshot(), busys[name].Snapshot()
+		res.Stages = append(res.Stages, StageLatencyRow{Stage: name, Count: b.Count, Wait: w, Busy: b})
+	}
+	res.Total = total.Snapshot()
+	return res
+}
+
+// StageBreakdown runs cfg.Requests inferences through one model's real
+// streaming pipeline and returns the measured per-stage breakdown.
+func StageBreakdown(cfg Config, name string) (*StageBreakdownResult, error) {
+	cfg = cfg.withDefaults()
+	net, ds, err := preparedModel(name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	factor, err := SelectedFactor(name)
+	if err != nil {
+		return nil, err
+	}
+	key, err := sharedKey(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Factor:          factor,
+		Topology:        topologyFor(spec, 12),
+		LoadBalance:     true,
+		TensorPartition: true,
+		ProfileReps:     cfg.ProfileReps,
+		ProfileSample:   ds.TestX[0],
+	}
+	if prof := cachedProfile(name, factor, cfg.KeyBits); prof != nil {
+		opts.ProfiledTimes = prof.times
+		opts.ProfiledEncrypt = prof.encrypt
+	}
+	eng, err := core.NewEngine(net, key, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ProfiledTimes == nil {
+		storeProfile(name, factor, cfg.KeyBits, eng)
+	}
+	defer eng.Close()
+	n := cfg.Requests
+	if n > len(ds.TestX) {
+		n = len(ds.TestX)
+	}
+	_, stats, err := eng.InferStream(context.Background(), ds.TestX[:n])
+	if err != nil {
+		return nil, err
+	}
+	return BreakdownFromTraces(name, stats.Traces), nil
+}
+
+// StageBreakdowns runs StageBreakdown for a representative model set
+// (one healthcare MLP and one MNIST model; quick mode keeps just the
+// former).
+func StageBreakdowns(cfg Config) ([]*StageBreakdownResult, error) {
+	names := []string{"Heart", "MNIST-1"}
+	if cfg.Quick {
+		names = []string{"Heart"}
+	}
+	out := make([]*StageBreakdownResult, 0, len(names))
+	for _, name := range names {
+		res, err := StageBreakdown(cfg, name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stage breakdown %s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// Render formats the per-stage percentile table.
+func (r *StageBreakdownResult) Render() string {
+	header := []string{"stage", "n", "wait p50", "busy p50", "busy p95", "busy p99", "busy max"}
+	var rows [][]string
+	for _, s := range r.Stages {
+		rows = append(rows, []string{
+			s.Stage, fmt.Sprint(s.Count),
+			fmtDur(s.Wait.P50), fmtDur(s.Busy.P50), fmtDur(s.Busy.P95), fmtDur(s.Busy.P99), fmtDur(s.Busy.Max),
+		})
+	}
+	rows = append(rows, []string{
+		"TOTAL (per request)", fmt.Sprint(r.Total.Count),
+		"-", fmtDur(r.Total.P50), fmtDur(r.Total.P95), fmtDur(r.Total.P99), fmtDur(r.Total.Max),
+	})
+	return fmt.Sprintf("Per-stage latency breakdown: %s (%d streamed requests)\n%s",
+		r.Model, r.Requests, renderTable(header, rows))
 }
 
 // Fig6Row is one (model, factor) latency point.

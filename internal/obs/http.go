@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registries' JSON snapshots at /metrics (and /) and
+// mounts the standard pprof handlers under /debug/pprof/, so a running
+// ppserver can be inspected with curl and `go tool pprof`.
+func Handler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	metrics := func(w http.ResponseWriter, req *http.Request) {
+		snaps := make([]Snapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		var err error
+		if len(snaps) == 1 {
+			err = enc.Encode(snaps[0])
+		} else {
+			err = enc.Encode(snaps)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		metrics(w, req)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the exposition endpoint on addr (":0" picks a free port)
+// and returns the bound address plus a shutdown function. The server
+// runs until shutdown is called.
+func Serve(addr string, regs ...*Registry) (string, func(context.Context) error, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(regs...)}
+	go srv.Serve(l)
+	return l.Addr().String(), srv.Shutdown, nil
+}

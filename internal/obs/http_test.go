@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHandlerServesSnapshotAndPprof(t *testing.T) {
+	reg := NewRegistry("unit")
+	reg.Counter("requests").Add(5)
+	reg.Histogram("stage.encrypt.busy").Observe(3 * time.Millisecond)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "unit" || snap.Counters["requests"] != 5 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	h, ok := snap.Histograms["stage.encrypt.busy"]
+	if !ok || h.Count != 1 || h.P50 <= 0 {
+		t.Errorf("histogram snapshot %+v (ok=%v)", h, ok)
+	}
+
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: %d", pp.StatusCode)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	reg := NewRegistry("serve")
+	addr, shutdown, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /metrics via Serve: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
 	"ppstream/internal/nn"
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
 	"ppstream/internal/stream"
 	"ppstream/internal/tensor"
@@ -48,6 +50,26 @@ func RegisterServiceWire() {
 // each round until the client closes. maxWorkers bounds the per-stage
 // threads a client may request.
 func ServeSession(ctx context.Context, in, out stream.Edge, net *nn.Network, factor int64, maxWorkers int) error {
+	return ServeSessionObserved(ctx, in, out, net, factor, maxWorkers, nil)
+}
+
+// ServeSessionObserved is ServeSession publishing session metrics to reg
+// (which may be nil): "sessions.total" / "sessions.active",
+// "rounds.served" / "rounds.errors", the aggregate per-round linear
+// processing histogram "round.linear", and per-round-index histograms
+// "round.<idx>.linear" mirroring the paper's per-stage latency tables.
+func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Network, factor int64, maxWorkers int, reg *obs.Registry) error {
+	var roundsServed, roundErrs *obs.Counter
+	var roundTime *obs.Histogram
+	if reg != nil {
+		reg.Counter("sessions.total").Inc()
+		active := reg.Gauge("sessions.active")
+		active.Add(1)
+		defer active.Add(-1)
+		roundsServed = reg.Counter("rounds.served")
+		roundErrs = reg.Counter("rounds.errors")
+		roundTime = reg.Histogram("round.linear")
+	}
 	first, err := in.Recv(ctx)
 	if err != nil {
 		return fmt.Errorf("protocol: session hello: %w", err)
@@ -91,17 +113,32 @@ func ServeSession(ctx context.Context, in, out stream.Edge, net *nn.Network, fac
 		if err != nil {
 			// Malformed client frame: reply with an error message but
 			// keep the session alive.
+			if roundErrs != nil {
+				roundErrs.Inc()
+			}
 			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
 				return sendErr
 			}
 			continue
 		}
+		start := time.Now()
 		result, err := mp.ProcessLinear(frame.Round, env)
+		if reg != nil {
+			elapsed := time.Since(start)
+			roundTime.Observe(elapsed)
+			reg.Histogram(fmt.Sprintf("round.%d.linear", frame.Round)).Observe(elapsed)
+		}
 		if err != nil {
+			if roundErrs != nil {
+				roundErrs.Inc()
+			}
 			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
 				return sendErr
 			}
 			continue
+		}
+		if roundsServed != nil {
+			roundsServed.Inc()
 		}
 		reply, err := ToWire(result)
 		if err != nil {

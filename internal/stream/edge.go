@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"ppstream/internal/obs"
 )
 
 // ErrEdgeClosed is returned by Recv once the sender has closed the edge
@@ -66,13 +68,25 @@ func (e *channelEdge) CloseSend() error {
 	return nil
 }
 
+// depthReporter is the optional interface edges implement to expose
+// their queue occupancy for gauges (see Pipeline.Instrument).
+type depthReporter interface {
+	// Depth returns the current queued message count and the capacity.
+	Depth() (int, int)
+}
+
+// Depth reports the channel edge's occupancy and capacity.
+func (e *channelEdge) Depth() (int, int) { return len(e.ch), cap(e.ch) }
+
 // wireFrame is the gob envelope for TCP edges. Close frames carry no
-// payload.
+// payload. The trace rides along so distributed pipelines keep the
+// per-stage breakdown.
 type wireFrame struct {
 	Seq     uint64
 	Err     string
 	Close   bool
 	Payload any
+	Trace   *Trace
 }
 
 // tcpEdge carries messages over a TCP connection using gob encoding.
@@ -85,6 +99,10 @@ type tcpEdge struct {
 	sendMu    sync.Mutex
 	closeOnce sync.Once
 	closeErr  error
+
+	// Optional obs instrumentation (see NewInstrumentedTCPEdge).
+	framesSent *obs.Counter
+	framesRecv *obs.Counter
 }
 
 // RegisterWireType registers a payload type for TCP transport. Call once
@@ -95,6 +113,49 @@ func RegisterWireType(v any) { gob.Register(v) }
 // responsible for pairing one sender and one receiver per connection.
 func NewTCPEdge(conn net.Conn) Edge {
 	return &tcpEdge{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// countingConn wraps a net.Conn, publishing transferred byte counts.
+type countingConn struct {
+	net.Conn
+	sent, recv *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.recv.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.sent.Add(uint64(n))
+	}
+	return n, err
+}
+
+// NewInstrumentedTCPEdge wraps conn as a TCP edge that publishes wire
+// counters to reg: "<prefix>.bytes_sent", "<prefix>.bytes_recv",
+// "<prefix>.frames_sent", and "<prefix>.frames_recv". Byte counts cover
+// the gob stream including close frames; frame counts cover messages.
+// Multiple edges may share a prefix to aggregate (e.g. all sessions of
+// one server under "tcp").
+func NewInstrumentedTCPEdge(conn net.Conn, reg *obs.Registry, prefix string) Edge {
+	if reg == nil {
+		return NewTCPEdge(conn)
+	}
+	cc := &countingConn{
+		Conn: conn,
+		sent: reg.Counter(prefix + ".bytes_sent"),
+		recv: reg.Counter(prefix + ".bytes_recv"),
+	}
+	e := NewTCPEdge(cc).(*tcpEdge)
+	e.framesSent = reg.Counter(prefix + ".frames_sent")
+	e.framesRecv = reg.Counter(prefix + ".frames_recv")
+	return e
 }
 
 // DialEdge connects to a listening edge.
@@ -180,9 +241,12 @@ func (e *tcpEdge) Send(ctx context.Context, m *Message) error {
 	}
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
-	frame := wireFrame{Seq: m.Seq, Err: m.Err, Payload: m.Payload}
+	frame := wireFrame{Seq: m.Seq, Err: m.Err, Payload: m.Payload, Trace: m.Trace}
 	if err := e.enc.Encode(&frame); err != nil {
 		return fmt.Errorf("stream: tcp send: %w", err)
+	}
+	if e.framesSent != nil {
+		e.framesSent.Inc()
 	}
 	return nil
 }
@@ -198,7 +262,10 @@ func (e *tcpEdge) Recv(ctx context.Context) (*Message, error) {
 	if frame.Close {
 		return nil, ErrEdgeClosed
 	}
-	return &Message{Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload}, nil
+	if e.framesRecv != nil {
+		e.framesRecv.Inc()
+	}
+	return &Message{Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload, Trace: frame.Trace}, nil
 }
 
 func (e *tcpEdge) CloseSend() error {

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ppstream/internal/obs"
 )
 
 // Message is one unit flowing through the pipeline: an inference request
@@ -30,9 +32,48 @@ type Message struct {
 	// Err carries a processing failure downstream so the submitter
 	// learns about it; stages pass errored messages through untouched.
 	Err string
+	// FailedStage names the stage whose handler produced Err.
+	FailedStage string
+	// FailedPayload preserves the payload that was fed to the failing
+	// stage, so the submitter can diagnose or retry the request.
+	// In-process edges carry it as-is; TCP edges require the concrete
+	// type to be gob-registered (like Payload).
+	FailedPayload any
 	// Enqueued is stamped when the message enters an edge, feeding the
 	// queue-wait metric.
 	Enqueued time.Time
+	// Trace, when non-nil, accumulates one Span per stage the message
+	// passes through. Submit attaches a fresh Trace to every request.
+	Trace *Trace
+}
+
+// Span records one stage's handling of a message: the time it waited in
+// the stage's input queue and the handler's execution time. Together
+// the spans of a completed request are the per-stage latency breakdown
+// the paper's Tables IV/V report.
+type Span struct {
+	Stage string
+	Wait  time.Duration
+	Busy  time.Duration
+}
+
+// Trace is the per-request record of stage spans, carried along the
+// message (including across TCP edges) and returned with the result.
+type Trace struct {
+	Spans []Span
+}
+
+// Total sums queue-wait plus busy time across all spans: the request's
+// in-pipeline latency.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	var d time.Duration
+	for _, s := range t.Spans {
+		d += s.Wait + s.Busy
+	}
+	return d
 }
 
 // Handler processes one message. Implementations parallelize internally
@@ -96,6 +137,10 @@ type Stage struct {
 	in      Edge
 	out     Edge
 	metrics Metrics
+	// Optional obs instrumentation (set via Instrument before Start):
+	// latency histograms feeding p50/p95/p99 snapshots.
+	waitHist *obs.Histogram
+	busyHist *obs.Histogram
 }
 
 // NewStage creates a stage. Both edges must be non-nil.
@@ -115,6 +160,17 @@ func (s *Stage) Name() string { return s.name }
 // Metrics exposes the stage's counters.
 func (s *Stage) Metrics() *Metrics { return &s.metrics }
 
+// Instrument publishes the stage's queue-wait and busy-time latency
+// histograms to reg as "stage.<name>.wait" and "stage.<name>.busy".
+// Must be called before the pipeline starts.
+func (s *Stage) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.waitHist = reg.Histogram("stage." + s.name + ".wait")
+	s.busyHist = reg.Histogram("stage." + s.name + ".busy")
+}
+
 // run dispatches messages until the input edge closes or ctx is
 // cancelled. A handler error converts the message into an errored one
 // that keeps flowing so the submitter sees the failure; the stage keeps
@@ -128,24 +184,46 @@ func (s *Stage) run(ctx context.Context) error {
 			}
 			return fmt.Errorf("stream: stage %s recv: %w", s.name, err)
 		}
+		var wait time.Duration
 		if !m.Enqueued.IsZero() {
-			s.metrics.WaitNanos.Add(time.Since(m.Enqueued).Nanoseconds())
+			wait = time.Since(m.Enqueued)
 		}
 		var next *Message
+		var busy time.Duration
 		if m.Err != "" {
-			next = m // pass failures through untouched
+			// Pass failures through untouched. Their transit time stays
+			// out of WaitNanos/the histograms so error traffic does not
+			// skew the per-stage latency profile of real work.
+			next = m
 		} else {
+			s.metrics.WaitNanos.Add(wait.Nanoseconds())
+			if s.waitHist != nil {
+				s.waitHist.Observe(wait)
+			}
 			start := time.Now()
 			out, perr := s.process(ctx, m)
-			s.metrics.BusyNanos.Add(time.Since(start).Nanoseconds())
+			busy = time.Since(start)
+			s.metrics.BusyNanos.Add(busy.Nanoseconds())
+			if s.busyHist != nil {
+				s.busyHist.Observe(busy)
+			}
 			if perr != nil {
 				s.metrics.Errors.Add(1)
-				next = &Message{Seq: m.Seq, Err: fmt.Sprintf("stage %s: %v", s.name, perr)}
+				next = &Message{
+					Seq:           m.Seq,
+					Err:           fmt.Sprintf("stage %s: %v", s.name, perr),
+					FailedStage:   s.name,
+					FailedPayload: m.Payload,
+				}
 			} else {
 				s.metrics.Processed.Add(1)
 				next = out
 				next.Seq = m.Seq
 			}
+		}
+		if m.Trace != nil {
+			next.Trace = m.Trace
+			next.Trace.Spans = append(next.Trace.Spans, Span{Stage: s.name, Wait: wait, Busy: busy})
 		}
 		next.Enqueued = time.Now()
 		if err := s.out.Send(ctx, next); err != nil {
@@ -177,9 +255,9 @@ type Pipeline struct {
 	stages []*Stage
 	first  Edge
 	last   Edge
+	seq    atomic.Uint64
 
 	mu      sync.Mutex
-	seq     uint64
 	started bool
 	done    chan struct{}
 	runErr  error
@@ -253,13 +331,11 @@ func (p *Pipeline) Start(ctx context.Context) error {
 }
 
 // Submit enqueues a payload as the next request and returns its sequence
-// number.
+// number. Every submitted message carries a fresh Trace that stages
+// append their spans to.
 func (p *Pipeline) Submit(ctx context.Context, payload any) (uint64, error) {
-	p.mu.Lock()
-	seq := p.seq
-	p.seq++
-	p.mu.Unlock()
-	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now()}
+	seq := p.seq.Add(1) - 1
+	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now(), Trace: &Trace{}}
 	if err := p.first.Send(ctx, m); err != nil {
 		return 0, err
 	}
@@ -284,3 +360,51 @@ func (p *Pipeline) Wait() error {
 
 // Stages exposes the pipeline's stages for metrics inspection.
 func (p *Pipeline) Stages() []*Stage { return p.stages }
+
+// StageSnapshot pairs one stage's counters with its input queue state.
+type StageSnapshot struct {
+	Stage string
+	MetricsSnapshot
+	// QueueDepth/QueueCap describe the stage's input edge when it is an
+	// in-process channel edge (both zero otherwise).
+	QueueDepth int
+	QueueCap   int
+}
+
+// Snapshot returns every stage's metrics and queue depth in pipeline
+// order — one call for ppbench tables and the metrics endpoint alike.
+func (p *Pipeline) Snapshot() []StageSnapshot {
+	out := make([]StageSnapshot, len(p.stages))
+	for i, st := range p.stages {
+		out[i] = StageSnapshot{Stage: st.name, MetricsSnapshot: st.metrics.Snapshot()}
+		if d, ok := st.in.(depthReporter); ok {
+			out[i].QueueDepth, out[i].QueueCap = d.Depth()
+		}
+	}
+	return out
+}
+
+// Instrument publishes the pipeline's stage latency histograms and
+// queue-depth gauges to reg. Call before Start; histograms accumulate
+// across the pipeline's lifetime and snapshot as p50/p95/p99.
+func (p *Pipeline) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, st := range p.stages {
+		st.Instrument(reg)
+		if d, ok := st.in.(depthReporter); ok {
+			d := d
+			reg.GaugeFunc("edge."+st.name+".in.depth", func() int64 {
+				n, _ := d.Depth()
+				return int64(n)
+			})
+		}
+	}
+	if d, ok := p.last.(depthReporter); ok {
+		reg.GaugeFunc("edge.out.depth", func() int64 {
+			n, _ := d.Depth()
+			return int64(n)
+		})
+	}
+}
