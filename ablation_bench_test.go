@@ -162,7 +162,7 @@ func BenchmarkAblationSharedMemoryConv(b *testing.B) {
 	op, ct, k := ablationConvOp(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := op.Apply(&k.PublicKey, ct, 1, 2); err != nil {
+		if _, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -172,7 +172,7 @@ func BenchmarkAblationPartitionedConv(b *testing.B) {
 	op, ct, k := ablationConvOp(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := partition.Execute(&k.PublicKey, op, ct, 1, 2, true); err != nil {
+		if _, _, err := partition.Execute(paillier.NewEvaluator(&k.PublicKey), op, ct, 1, 2, true); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ppbench [flags] <experiment>\n\nexperiments:\n")
 		fmt.Fprintf(os.Stderr, "  fig1     Paillier benchmark vs key size\n")
+		fmt.Fprintf(os.Stderr, "  kernel   linear kernel vs scalar reference (speedup per key size)\n")
 		fmt.Fprintf(os.Stderr, "  table3   dataset/model inventory\n")
 		fmt.Fprintf(os.Stderr, "  table4   accuracy vs scaling factor (training set)\n")
 		fmt.Fprintf(os.Stderr, "  table5   accuracy vs scaling factor (testing set)\n")
@@ -79,6 +80,16 @@ func run(name string, cfg experiments.Config) error {
 			bits = []int{256, 512}
 		}
 		res, err := experiments.Fig1(bits, cfg.Trials)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "kernel":
+		bits := []int{256, 512, 1024}
+		if cfg.Quick {
+			bits = []int{256}
+		}
+		res, err := experiments.Kernel(bits, cfg.Trials)
 		if err != nil {
 			return err
 		}
@@ -143,7 +154,7 @@ func run(name string, cfg experiments.Config) error {
 			fmt.Print(res.Render())
 		}
 	case "all":
-		for _, sub := range []string{"fig1", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {
+		for _, sub := range []string{"fig1", "kernel", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {
 			if err := run(sub, cfg); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}

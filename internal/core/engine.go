@@ -94,6 +94,7 @@ type Engine struct {
 	EncryptTime float64
 	opts        Options
 	pool        *paillier.Pool
+	blind       *paillier.Pool
 	keyBits     int
 	reg         *obs.Registry
 }
@@ -119,15 +120,32 @@ func NewEngine(net *nn.Network, key *paillier.PrivateKey, opts Options) (*Engine
 		pool = paillier.NewPool(&key.PublicKey, nil, 64, 2)
 		cfg.Pool = pool
 	}
+	// The model provider's linear kernel re-randomizes every output
+	// ciphertext; a dedicated background pool keeps those r^n
+	// exponentiations off the inference critical path.
+	blind := paillier.NewPool(&key.PublicKey, nil, 64, 1)
+	cfg.BlindPool = blind
 	proto, err := protocol.Build(net, key, cfg)
 	if err != nil {
+		blind.Close()
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, err
 	}
 	e := &Engine{
-		Net: net, Protocol: proto, opts: opts, pool: pool,
+		Net: net, Protocol: proto, opts: opts, pool: pool, blind: blind,
 		Servers: opts.Topology.Servers(), keyBits: key.Bits(),
 		reg: obs.NewRegistry("engine/" + net.ModelName),
 	}
+	e.Protocol.Model.Instrument(e.reg)
+	e.reg.GaugeFunc("pool.workers.alive", func() int64 {
+		n := blind.AliveWorkers()
+		if pool != nil {
+			n += pool.AliveWorkers()
+		}
+		return n
+	})
 
 	// Offline profiling (Section IV-C): execute each merged stage once
 	// per rep with a single thread and record T_i — unless a previous
@@ -168,10 +186,13 @@ func NewEngine(net *nn.Network, key *paillier.PrivateKey, opts Options) (*Engine
 	return e, nil
 }
 
-// Close releases background resources (the blinding pool).
+// Close releases background resources (the blinding pools).
 func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.Close()
+	}
+	if e.blind != nil {
+		e.blind.Close()
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool precomputes encryption blinding factors r^n mod n² in background
@@ -13,13 +15,16 @@ import (
 // (paper Fig. 3, step 2.3) sits on the inference critical path, so hiding
 // the r^n exponentiation off-path is one of the practical optimizations
 // the streaming design enables: blinding factors are produced while other
-// pipeline stages run.
+// pipeline stages run. The model provider's linear kernel draws from the
+// same supply to re-randomize its outputs (Pool implements Blinder).
 type Pool struct {
 	pk      *PublicKey
 	random  io.Reader
 	ch      chan *big.Int
 	closeCh chan struct{}
 	wg      sync.WaitGroup
+	alive   atomic.Int64
+	retries atomic.Uint64
 }
 
 // NewPool starts workers goroutines filling a buffer of capacity size with
@@ -42,23 +47,67 @@ func NewPool(pk *PublicKey, random io.Reader, size, workers int) *Pool {
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
+		p.alive.Add(1)
 		go p.fill()
 	}
 	return p
 }
 
+// fillBackoffStart is the first retry delay after a randomness read
+// failure; it doubles up to fillBackoffMax.
+const (
+	fillBackoffStart = 5 * time.Millisecond
+	fillBackoffMax   = time.Second
+)
+
 func (p *Pool) fill() {
 	defer p.wg.Done()
+	defer p.alive.Add(-1)
+	backoff := fillBackoffStart
 	for {
 		rn, err := p.pk.freshBlinding(p.random)
 		if err != nil {
-			return // crypto/rand failure: stop producing; Encrypt falls back
+			// Transient randomness failure: back off and retry instead of
+			// exiting — a dead worker would silently degrade every future
+			// Encrypt to the slow inline path for the pool's lifetime.
+			p.retries.Add(1)
+			select {
+			case <-p.closeCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < fillBackoffMax {
+				backoff *= 2
+			}
+			continue
 		}
+		backoff = fillBackoffStart
 		select {
 		case p.ch <- rn:
 		case <-p.closeCh:
 			return
 		}
+	}
+}
+
+// AliveWorkers reports how many fill workers are currently running —
+// exposed as the "pool.workers.alive" gauge. It equals the construction
+// worker count until Close; a lower value indicates lost producers.
+func (p *Pool) AliveWorkers() int64 { return p.alive.Load() }
+
+// Retries reports how many randomness read failures the fill workers
+// have retried.
+func (p *Pool) Retries() uint64 { return p.retries.Load() }
+
+// Blinding returns a precomputed r^n factor when one is ready, computing
+// one inline otherwise. It implements Blinder for the linear kernel's
+// output re-randomization.
+func (p *Pool) Blinding() (*big.Int, error) {
+	select {
+	case rn := <-p.ch:
+		return rn, nil
+	default:
+		return p.pk.freshBlinding(p.random)
 	}
 }
 

@@ -112,12 +112,40 @@ func DecryptTensorBig(sk *PrivateKey, t *CipherTensor, workers int) (*tensor.Ten
 
 // DotScaled computes the encryption of Σ_i w_i·m_i + b from the encrypted
 // inputs E(m_i), integer weights w_i, and integer bias b — the paper's
-// Eq. (3): Π_i E(m_i)^{w_i} · (1 + b·n) mod n².
-//
-// The bias term uses the deterministic plaintext embedding; the product's
-// blinding comes from the input ciphertexts, which the data provider
-// freshly randomized.
+// Eq. (3): Π_i E(m_i)^{w_i} · (1 + b·n) mod n² — through the two-phase
+// linear kernel (see kernel.go): negative-weight inverses are computed
+// once per input and the row is evaluated with interleaved
+// multi-exponentiation. The output is re-randomized with a fresh r^n
+// factor, so it is a semantically-secure fresh encryption even when every
+// weight is zero. For evaluating many rows over the same inputs, use
+// Evaluator.MatVec (or Evaluator.NewLinearKernel directly) so the
+// preprocessing is shared.
 func DotScaled(pk *PublicKey, xs []*Ciphertext, ws []int64, bias int64) (*Ciphertext, error) {
+	var b *big.Int
+	if bias != 0 {
+		b = big.NewInt(bias)
+	}
+	return NewEvaluator(pk).Dot(xs, ws, b)
+}
+
+// MatVecScaled evaluates an encrypted fully-connected layer: for weight
+// matrix W ([out][in] int64), encrypted input x, and bias b, returns the
+// encrypted output vector of length out. The per-input preprocessing
+// (inverses, power tables) is shared across all rows, rows run in
+// parallel, and every output is re-randomized. Blinding factors are
+// computed inline from crypto/rand; use an Evaluator with an attached
+// Pool to take them off the critical path.
+func MatVecScaled(pk *PublicKey, w [][]int64, bias []int64, x []*Ciphertext, workers int) ([]*Ciphertext, error) {
+	return NewEvaluator(pk).MatVec(w, bias, x, workers)
+}
+
+// DotScaledRef is the pre-kernel scalar implementation of Eq. (3), kept
+// as the reference for differential tests. It exponentiates each input
+// independently (recomputing inverses per weight) and does NOT
+// re-randomize its output — its randomness is only inherited from the
+// inputs, so it must not be used on ciphertexts that leave the model
+// provider.
+func DotScaledRef(pk *PublicKey, xs []*Ciphertext, ws []int64, bias int64) (*Ciphertext, error) {
 	if len(xs) != len(ws) {
 		return nil, fmt.Errorf("paillier: dot length mismatch: %d inputs vs %d weights", len(xs), len(ws))
 	}
@@ -139,7 +167,8 @@ func DotScaled(pk *PublicKey, xs []*Ciphertext, ws []int64, bias int64) (*Cipher
 			if inv == nil {
 				return nil, errors.New("paillier: ciphertext not invertible")
 			}
-			term = tmp.Set(inv.Exp(inv, big.NewInt(-w), pk.N2))
+			absW := new(big.Int).Abs(big.NewInt(w))
+			term = tmp.Set(inv.Exp(inv, absW, pk.N2))
 		}
 		acc.Mul(acc, term)
 		acc.Mod(acc, pk.N2)
@@ -155,10 +184,11 @@ func DotScaled(pk *PublicKey, xs []*Ciphertext, ws []int64, bias int64) (*Cipher
 	return out, nil
 }
 
-// MatVecScaled evaluates an encrypted fully-connected layer: for weight
-// matrix W ([out][in] int64), encrypted input x, and bias b, returns the
-// encrypted output vector of length out. Rows are computed in parallel.
-func MatVecScaled(pk *PublicKey, w [][]int64, bias []int64, x []*Ciphertext, workers int) ([]*Ciphertext, error) {
+// MatVecScaledRef is the pre-kernel row-by-row reference layer
+// evaluation over DotScaledRef, kept for differential tests and as the
+// speedup baseline of BenchmarkMatVecScaledRef. Unblinded — see
+// DotScaledRef.
+func MatVecScaledRef(pk *PublicKey, w [][]int64, bias []int64, x []*Ciphertext, workers int) ([]*Ciphertext, error) {
 	outN := len(w)
 	if bias != nil && len(bias) != outN {
 		return nil, fmt.Errorf("paillier: bias length %d != rows %d", len(bias), outN)
@@ -179,7 +209,7 @@ func MatVecScaled(pk *PublicKey, w [][]int64, bias []int64, x []*Ciphertext, wor
 		if bias != nil {
 			b = bias[o]
 		}
-		ct, err := DotScaled(pk, x, w[o], b)
+		ct, err := DotScaledRef(pk, x, w[o], b)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {

@@ -134,7 +134,7 @@ func (c CommStats) Saved() float64 {
 // inExp+op.ScaleSteps(), plus the communication accounting. Each thread
 // receives a physically copied view of the input elements its task
 // needs.
-func Execute(pk *paillier.PublicKey, op qnn.ElementOp, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, CommStats, error) {
+func Execute(ev *paillier.Evaluator, op qnn.ElementOp, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, CommStats, error) {
 	in := x.Shape()
 	tasks, err := PlanOp(op, in, threads, inputPartition)
 	if err != nil {
@@ -185,7 +185,7 @@ func Execute(pk *paillier.PublicKey, op qnn.ElementOp, x *paillier.CipherTensor,
 			stats.ElementsSent += copied
 			statsMu.Unlock()
 			for idx := task.Lo; idx < task.Hi; idx++ {
-				ct, err := op.ComputeElement(pk, get, in, idx, inExp)
+				ct, err := op.ComputeElement(ev, get, in, idx, inExp)
 				if err != nil {
 					errCh <- fmt.Errorf("partition: op %s element %d: %w", op.Name(), idx, err)
 					return
@@ -204,7 +204,7 @@ func Execute(pk *paillier.PublicKey, op qnn.ElementOp, x *paillier.CipherTensor,
 
 // ExecuteStage runs a sequence of ops through Execute, threading the
 // scale exponent and summing communication stats.
-func ExecuteStage(pk *paillier.PublicKey, ops []qnn.Op, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, int, []CommStats, error) {
+func ExecuteStage(ev *paillier.Evaluator, ops []qnn.Op, x *paillier.CipherTensor, inExp, threads int, inputPartition bool) (*paillier.CipherTensor, int, []CommStats, error) {
 	cur, exp := x, inExp
 	stats := make([]CommStats, 0, len(ops))
 	for _, op := range ops {
@@ -212,7 +212,7 @@ func ExecuteStage(pk *paillier.PublicKey, ops []qnn.Op, x *paillier.CipherTensor
 		if !ok {
 			return nil, 0, nil, fmt.Errorf("partition: op %s does not support element-wise execution", op.Name())
 		}
-		out, st, err := Execute(pk, eop, cur, exp, threads, inputPartition)
+		out, st, err := Execute(ev, eop, cur, exp, threads, inputPartition)
 		if err != nil {
 			return nil, 0, nil, err
 		}

@@ -136,7 +136,7 @@ func TestExecuteMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := op.Apply(&k.PublicKey, ct, 1, 1)
+	ref, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestExecuteMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, inputPart := range []bool{false, true} {
-		out, stats, err := Execute(&k.PublicKey, op.(qnn.ElementOp), ct, 1, 3, inputPart)
+		out, stats, err := Execute(paillier.NewEvaluator(&k.PublicKey), op.(qnn.ElementOp), ct, 1, 3, inputPart)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func TestExecuteStageSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, exp, stats, err := ExecuteStage(&k.PublicKey, ops, ct, 1, 2, true)
+	out, exp, stats, err := ExecuteStage(paillier.NewEvaluator(&k.PublicKey), ops, ct, 1, 2, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestExecuteStageSequence(t *testing.T) {
 		t.Errorf("stats for %d ops, want 3", len(stats))
 	}
 	// compare against the reference path
-	refOut, refExp, err := qnn.ApplyStage(&k.PublicKey, ops, ct, 1, 1)
+	refOut, refExp, err := qnn.ApplyStage(paillier.NewEvaluator(&k.PublicKey), ops, ct, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,20 @@ func TestServeSessionObservedMetrics(t *testing.T) {
 	if _, ok := s.Histograms["round.0.linear"]; !ok {
 		t.Error("per-round histogram round.0.linear missing")
 	}
+	kd := s.Histograms["kernel.dot"]
+	if kd.Count == 0 {
+		t.Error("kernel.dot histogram empty: linear kernel not instrumented")
+	}
+	kp := s.Histograms["kernel.precompute"]
+	if kp.Count == 0 {
+		t.Error("kernel.precompute histogram empty: linear kernel not instrumented")
+	}
+	alive, ok := s.Gauges["pool.workers.alive"]
+	if !ok {
+		t.Error("pool.workers.alive gauge missing")
+	} else if alive != 0 {
+		t.Errorf("pool.workers.alive %d after session close, want 0", alive)
+	}
 	if s.Counters["tcp.bytes_recv"] == 0 || s.Counters["tcp.bytes_sent"] == 0 {
 		t.Errorf("wire byte counters not recorded: %v", s.Counters)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"ppstream/internal/nn"
 	"ppstream/internal/obfuscate"
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
 	"ppstream/internal/partition"
 	"ppstream/internal/qnn"
@@ -54,8 +55,15 @@ type Config struct {
 	// per-stage plan overrides it.
 	Workers int
 	// Pool, when non-nil, provides precomputed encryption blinding for
-	// the data provider's re-encryption step.
+	// the data provider's re-encryption step. The model provider's linear
+	// kernel also draws output re-randomization factors from it unless
+	// BlindPool overrides.
 	Pool *paillier.Pool
+	// BlindPool, when non-nil, supplies the model provider's output
+	// re-randomization factors (the kernel blinds every ciphertext before
+	// it leaves the provider). Falls back to Pool, then to inline
+	// crypto/rand factors.
+	BlindPool *paillier.Pool
 }
 
 // Protocol binds a model provider and a data provider for one scaled
@@ -110,8 +118,15 @@ func BuildModelProvider(net *nn.Network, pk *paillier.PublicKey, cfg Config) (*M
 	if err != nil {
 		return nil, err
 	}
+	var evOpts []paillier.EvalOption
+	if blind := cfg.BlindPool; blind != nil {
+		evOpts = append(evOpts, paillier.WithBlinder(blind))
+	} else if cfg.Pool != nil {
+		evOpts = append(evOpts, paillier.WithBlinder(cfg.Pool))
+	}
 	mp := &ModelProvider{
 		pk:      pk,
+		eval:    paillier.NewEvaluator(pk, evOpts...),
 		factor:  cfg.Factor,
 		workers: cfg.Workers,
 		state:   map[uint64]*obfuscate.Rounds{},
@@ -267,6 +282,7 @@ type linearStage struct {
 // per-request obfuscation state. It never sees the private key.
 type ModelProvider struct {
 	pk      *paillier.PublicKey
+	eval    *paillier.Evaluator
 	factor  int64
 	workers int
 	stages  []*linearStage
@@ -278,6 +294,23 @@ type ModelProvider struct {
 
 // PublicKey exposes the provider's encryption key.
 func (mp *ModelProvider) PublicKey() *paillier.PublicKey { return mp.pk }
+
+// Evaluator exposes the provider's homomorphic evaluation context (key,
+// blinding supply, kernel configuration).
+func (mp *ModelProvider) Evaluator() *paillier.Evaluator { return mp.eval }
+
+// Instrument publishes the linear kernel's phase timings to reg as the
+// "kernel.precompute" (per-layer preprocessing: shared inverses and
+// power tables) and "kernel.dot" (per-row multi-exponentiation)
+// histograms.
+func (mp *ModelProvider) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	pre := reg.Histogram("kernel.precompute")
+	dot := reg.Histogram("kernel.dot")
+	mp.eval.SetMetrics(paillier.KernelMetrics{Precompute: pre.Observe, Dot: dot.Observe})
+}
 
 // Stages returns the number of linear stages.
 func (mp *ModelProvider) Stages() int { return len(mp.stages) }
@@ -360,9 +393,9 @@ func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) 
 	var out *paillier.CipherTensor
 	var outExp int
 	if st.usePartitionExec {
-		out, outExp, _, err = executePartitioned(mp.pk, st, shaped, env.Exp)
+		out, outExp, _, err = executePartitioned(mp.eval, st, shaped, env.Exp)
 	} else {
-		out, outExp, err = qnn.ApplyStage(mp.pk, st.ops, shaped, env.Exp, st.threads)
+		out, outExp, err = qnn.ApplyStage(mp.eval, st.ops, shaped, env.Exp, st.threads)
 	}
 	if err != nil {
 		return nil, err
@@ -572,6 +605,6 @@ func (mp *ModelProvider) StageComm(r, threads int) (withPart, withoutPart int, e
 // executePartitioned routes a linear stage through the tensor
 // partitioning executor (internal/partition), which materializes
 // per-thread input views.
-func executePartitioned(pk *paillier.PublicKey, st *linearStage, x *paillier.CipherTensor, inExp int) (*paillier.CipherTensor, int, []partition.CommStats, error) {
-	return partition.ExecuteStage(pk, st.ops, x, inExp, st.threads, st.inputPartition)
+func executePartitioned(ev *paillier.Evaluator, st *linearStage, x *paillier.CipherTensor, inExp int) (*paillier.CipherTensor, int, []partition.CommStats, error) {
+	return partition.ExecuteStage(ev, st.ops, x, inExp, st.threads, st.inputPartition)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 	"time"
 
 	"ppstream/internal/nn"
@@ -29,6 +30,30 @@ type Hello struct {
 	// Workers requests a per-stage thread count on the server (bounded
 	// by the server's own cap).
 	Workers int
+}
+
+// maxHelloKeyBytes bounds the modulus a client may announce (32768-bit
+// keys), so a hostile Hello cannot make the server allocate and exponentiate
+// over arbitrarily large integers.
+const maxHelloKeyBytes = 4096
+
+// helloPublicKey validates the client's announced modulus and builds the
+// session public key. A zero, tiny, or mismatched modulus would otherwise
+// reach the linear kernel and fail deep inside ModInverse/Exp — reject it
+// at the hello with a clear error.
+func helloPublicKey(hello *Hello) (*paillier.PublicKey, error) {
+	if len(hello.N) == 0 {
+		return nil, errors.New("protocol: hello carries no public key")
+	}
+	if len(hello.N) > maxHelloKeyBytes {
+		return nil, fmt.Errorf("protocol: hello public key is %d bytes, limit %d", len(hello.N), maxHelloKeyBytes)
+	}
+	n := new(big.Int).SetBytes(hello.N)
+	pk := &paillier.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+	if err := pk.Validate(); err != nil {
+		return nil, fmt.Errorf("protocol: hello public key rejected: %w", err)
+	}
+	return pk, nil
 }
 
 // roundFrame tags a wire envelope with its round index for the service
@@ -81,11 +106,15 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	if hello.Factor != factor {
 		return fmt.Errorf("protocol: client factor %d does not match server's %d", hello.Factor, factor)
 	}
-	if len(hello.N) == 0 {
-		return errors.New("protocol: hello carries no public key")
+	pk, err := helloPublicKey(hello)
+	if err != nil {
+		// Reject the session but tell the client why: the error frame is
+		// consumed by its first-round Recv.
+		if out != nil {
+			_ = out.Send(ctx, &stream.Message{Seq: first.Seq, Err: err.Error()})
+		}
+		return err
 	}
-	n := new(big.Int).SetBytes(hello.N)
-	pk := &paillier.PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
 	workers := hello.Workers
 	if workers < 1 {
 		workers = 1
@@ -93,10 +122,19 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	if maxWorkers > 0 && workers > maxWorkers {
 		workers = maxWorkers
 	}
-	mp, err := BuildModelProvider(net, pk, Config{Factor: factor, Workers: workers})
+	// Per-session blinding pool: the kernel re-randomizes every output
+	// ciphertext, and pooled r^n factors keep those exponentiations off
+	// the round-trip critical path.
+	blind := paillier.NewPool(pk, nil, 64, 1)
+	defer blind.Close()
+	if reg != nil {
+		reg.GaugeFunc("pool.workers.alive", blind.AliveWorkers)
+	}
+	mp, err := BuildModelProvider(net, pk, Config{Factor: factor, Workers: workers, BlindPool: blind})
 	if err != nil {
 		return fmt.Errorf("protocol: building provider for session: %w", err)
 	}
+	mp.Instrument(reg)
 	for {
 		msg, err := in.Recv(ctx)
 		if err != nil {
@@ -150,13 +188,20 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	}
 }
 
-// Client drives the data-provider side of a remote session.
+// Client drives the data-provider side of a remote session. A session
+// multiplexes one connection pair, so concurrent Infer calls are
+// serialized internally; for parallel inference open one Client per
+// connection.
 type Client struct {
 	dp     *DataProvider
 	pk     *paillier.PublicKey
 	in     stream.Edge // frames from the server
 	out    stream.Edge // frames to the server
 	rounds int
+
+	// mu serializes Infer: rounds interleave request/reply frames on the
+	// shared edges, and nextID must not race.
+	mu     sync.Mutex
 	nextID uint64
 }
 
@@ -186,7 +231,11 @@ func NewClient(ctx context.Context, in, out stream.Edge, arch *nn.Network, sk *p
 }
 
 // Infer runs one private inference against the remote model provider.
+// Safe for concurrent use: calls are serialized on the session's single
+// connection pair.
 func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	req := c.nextID
 	c.nextID++
 	env, err := c.dp.Encrypt(req, x)

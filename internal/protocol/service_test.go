@@ -4,6 +4,7 @@ import (
 	"context"
 	mathrand "math/rand"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -84,6 +85,89 @@ func TestServiceRejectsFactorMismatch(t *testing.T) {
 	}
 	if err := <-serveErr; err == nil {
 		t.Error("factor mismatch accepted")
+	}
+}
+
+// hostileHello sends a handcrafted Hello to a server over a full
+// connection pair and returns the server's exit error plus the first frame
+// (if any) the server sent back.
+func hostileHello(t *testing.T, hello *Hello) (error, *stream.Message) {
+	t.Helper()
+	RegisterServiceWire()
+	netw := buildNet(t)
+	c2s1, s2c1 := net.Pipe()
+	c2s2, s2c2 := net.Pipe()
+	serverIn := stream.NewTCPEdge(s2c1)
+	serverOut := stream.NewTCPEdge(c2s2)
+	clientOut := stream.NewTCPEdge(c2s1)
+	clientIn := stream.NewTCPEdge(s2c2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ServeSession(ctx, serverIn, serverOut, netw, 1000, 4)
+	}()
+	if err := clientOut.Send(ctx, &stream.Message{Payload: hello}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := clientIn.Recv(ctx)
+	return <-serveErr, reply
+}
+
+// TestServiceRejectsTinyModulus: a Hello announcing a modulus far below
+// the minimum key size must be rejected at session setup with a clear
+// error frame — not fail deep inside the linear kernel.
+func TestServiceRejectsTinyModulus(t *testing.T) {
+	err, reply := hostileHello(t, &Hello{N: []byte{7}, Factor: 1000, Workers: 1})
+	if err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+	if !strings.Contains(err.Error(), "hello public key rejected") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if reply == nil || reply.Err == "" {
+		t.Error("client did not receive an error frame")
+	}
+}
+
+// TestServiceRejectsEmptyKey: a Hello with no modulus bytes fails fast.
+func TestServiceRejectsEmptyKey(t *testing.T) {
+	err, reply := hostileHello(t, &Hello{Factor: 1000, Workers: 1})
+	if err == nil {
+		t.Fatal("empty public key accepted")
+	}
+	if reply == nil || reply.Err == "" {
+		t.Error("client did not receive an error frame")
+	}
+}
+
+// TestServiceRejectsOversizedKey: a hostile modulus above the size cap is
+// rejected before the server allocates power tables over it.
+func TestServiceRejectsOversizedKey(t *testing.T) {
+	huge := make([]byte, maxHelloKeyBytes+1)
+	huge[0] = 1
+	err, reply := hostileHello(t, &Hello{N: huge, Factor: 1000, Workers: 1})
+	if err == nil {
+		t.Fatal("oversized public key accepted")
+	}
+	if !strings.Contains(err.Error(), "limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if reply == nil || reply.Err == "" {
+		t.Error("client did not receive an error frame")
+	}
+}
+
+// TestHelloPublicKeyAcceptsValid: the validator passes a well-formed key
+// through unchanged.
+func TestHelloPublicKeyAcceptsValid(t *testing.T) {
+	k := key(t)
+	pk, err := helloPublicKey(&Hello{N: k.N.Bytes(), Factor: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.N.Cmp(k.N) != 0 {
+		t.Error("modulus mangled")
 	}
 }
 

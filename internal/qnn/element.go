@@ -2,6 +2,7 @@ package qnn
 
 import (
 	"fmt"
+	"math/big"
 
 	"ppstream/internal/paillier"
 	"ppstream/internal/tensor"
@@ -21,8 +22,9 @@ type ElementOp interface {
 	InputNeeds(in tensor.Shape, outIdx int) []int
 	// ComputeElement evaluates one output element through an input
 	// accessor, allowing the caller to substitute a partitioned
-	// sub-tensor view.
-	ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error)
+	// sub-tensor view. The evaluator re-randomizes the element before it
+	// is returned.
+	ComputeElement(ev *paillier.Evaluator, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error)
 }
 
 // OutSize implements ElementOp for QFC.
@@ -37,7 +39,7 @@ func (q *QFC) OutSize(in tensor.Shape) (int, error) {
 func (q *QFC) InputNeeds(tensor.Shape, int) []int { return nil }
 
 // ComputeElement implements ElementOp.
-func (q *QFC) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+func (q *QFC) ComputeElement(ev *paillier.Evaluator, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
 	n := in.Size()
 	xs := make([]*paillier.Ciphertext, 0, n)
 	ws := make([]int64, 0, n)
@@ -49,14 +51,11 @@ func (q *QFC) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Cip
 		xs = append(xs, get(i))
 		ws = append(ws, w)
 	}
-	ct, err := paillier.DotScaled(pk, xs, ws, 0)
-	if err != nil {
-		return nil, err
-	}
+	var bias *big.Int
 	if q.B[outIdx] != 0 {
-		return pk.AddPlain(ct, biasAt(q.B[outIdx], q.F, inExp+1))
+		bias = biasAt(q.B[outIdx], q.F, inExp+1)
 	}
-	return ct, nil
+	return ev.Dot(xs, ws, bias)
 }
 
 // OutSize implements ElementOp for QConv.
@@ -84,7 +83,7 @@ func (q *QConv) InputNeeds(_ tensor.Shape, outIdx int) []int {
 }
 
 // ComputeElement implements ElementOp.
-func (q *QConv) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+func (q *QConv) ComputeElement(ev *paillier.Evaluator, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
 	positions := q.P.OutH() * q.P.OutW()
 	f := outIdx / positions
 	pos := outIdx % positions
@@ -98,14 +97,11 @@ func (q *QConv) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.C
 		xs = append(xs, get(off))
 		ws = append(ws, q.W[f][k])
 	}
-	ct, err := paillier.DotScaled(pk, xs, ws, 0)
-	if err != nil {
-		return nil, err
-	}
+	var bias *big.Int
 	if q.B[f] != 0 {
-		return pk.AddPlain(ct, biasAt(q.B[f], q.F, inExp+1))
+		bias = biasAt(q.B[f], q.F, inExp+1)
 	}
-	return ct, nil
+	return ev.Dot(xs, ws, bias)
 }
 
 // OutSize implements ElementOp for QAffine.
@@ -120,20 +116,28 @@ func (q *QAffine) OutSize(in tensor.Shape) (int, error) {
 func (q *QAffine) InputNeeds(_ tensor.Shape, outIdx int) []int { return []int{outIdx} }
 
 // ComputeElement implements ElementOp.
-func (q *QAffine) ComputeElement(pk *paillier.PublicKey, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
+func (q *QAffine) ComputeElement(ev *paillier.Evaluator, get func(int) *paillier.Ciphertext, in tensor.Shape, outIdx, inExp int) (*paillier.Ciphertext, error) {
 	idx, err := q.coeffIndex(in)
 	if err != nil {
 		return nil, err
 	}
+	pk := ev.PublicKey()
 	c := idx(outIdx)
 	ct, err := pk.MulScalarInt64(get(outIdx), q.Scale[c])
 	if err != nil {
 		return nil, err
 	}
 	if q.Shift != nil && q.Shift[c] != 0 {
-		return pk.AddPlain(ct, biasAt(q.Shift[c], q.F, inExp+1))
+		ct, err = pk.AddPlain(ct, biasAt(q.Shift[c], q.F, inExp+1))
+		if err != nil {
+			return nil, err
+		}
 	}
-	return ct, nil
+	rn, err := ev.Blinding()
+	if err != nil {
+		return nil, err
+	}
+	return pk.RerandomizeWith(ct, rn), nil
 }
 
 // OutSize implements ElementOp for QFlatten.
@@ -143,6 +147,6 @@ func (q *QFlatten) OutSize(in tensor.Shape) (int, error) { return in.Size(), nil
 func (q *QFlatten) InputNeeds(_ tensor.Shape, outIdx int) []int { return []int{outIdx} }
 
 // ComputeElement implements ElementOp: identity.
-func (q *QFlatten) ComputeElement(_ *paillier.PublicKey, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, _ int) (*paillier.Ciphertext, error) {
+func (q *QFlatten) ComputeElement(_ *paillier.Evaluator, get func(int) *paillier.Ciphertext, _ tensor.Shape, outIdx, _ int) (*paillier.Ciphertext, error) {
 	return get(outIdx), nil
 }

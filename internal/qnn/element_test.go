@@ -59,7 +59,7 @@ func TestElementOpsMatchApply(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			bulk, err := op.Apply(&k.PublicKey, ct, 1, 1)
+			bulk, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +77,7 @@ func TestElementOpsMatchApply(t *testing.T) {
 			xs := ct.Flatten().Data()
 			get := func(i int) *paillier.Ciphertext { return xs[i] }
 			for idx := 0; idx < n; idx++ {
-				elem, err := eop.ComputeElement(&k.PublicKey, get, c.in, idx, 1)
+				elem, err := eop.ComputeElement(paillier.NewEvaluator(&k.PublicKey), get, c.in, idx, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -101,7 +101,7 @@ func TestElementOpsMatchApply(t *testing.T) {
 						}
 						return xs[i]
 					}
-					if _, err := eop.ComputeElement(&k.PublicKey, guarded, c.in, idx, 1); err != nil {
+					if _, err := eop.ComputeElement(paillier.NewEvaluator(&k.PublicKey), guarded, c.in, idx, 1); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -141,7 +141,7 @@ func TestApplyPlainMatchesCipherAllOps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cipher, err := op.Apply(&k.PublicKey, ct, 1, 2)
+		cipher, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestOpShapeErrors(t *testing.T) {
 		t.Error("affine unmappable shape accepted")
 	}
 	k := key(t)
-	if _, err := bn.Apply(&k.PublicKey, tensor.New[*paillier.Ciphertext](2, 2), 1, 1); err == nil {
+	if _, err := bn.Apply(paillier.NewEvaluator(&k.PublicKey), tensor.New[*paillier.Ciphertext](2, 2), 1, 1); err == nil {
 		t.Error("affine apply with unmappable shape accepted")
 	}
 }

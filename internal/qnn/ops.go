@@ -48,21 +48,32 @@ func (q *QFC) OutShape(in tensor.Shape) (tensor.Shape, error) {
 	return tensor.Shape{len(q.W)}, nil
 }
 
-// Apply implements Op: row o computes Π E(x_i)^{W[o][i]} · E(b_o·F^(exp+1)).
-func (q *QFC) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+// Apply implements Op: row o computes Π E(x_i)^{W[o][i]} · E(b_o·F^(exp+1)),
+// re-randomized. One kernel preprocessing pass (shared inverses, windowed
+// power tables) serves every row.
+func (q *QFC) Apply(ev *paillier.Evaluator, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
 	xs := x.Flatten().Data()
 	if len(xs) != len(q.W[0]) {
 		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, len(q.W[0]), len(xs))
+	}
+	use, maxBits, err := paillier.ScanColumnUse(q.W, len(xs))
+	if err != nil {
+		return nil, err
+	}
+	kern, err := ev.NewLinearKernel(xs, use, len(q.W), maxBits, workers)
+	if err != nil {
+		return nil, err
 	}
 	out := tensor.New[*paillier.Ciphertext](len(q.W))
 	od := out.Data()
 	var mu sync.Mutex
 	var firstErr error
 	parallelRange(len(q.W), workers, func(o int) {
-		ct, err := paillier.DotScaled(pk, xs, q.W[o], 0)
-		if err == nil && q.B[o] != 0 {
-			ct, err = pk.AddPlain(ct, biasAt(q.B[o], q.F, inExp+1))
+		var bias *big.Int
+		if q.B[o] != 0 {
+			bias = biasAt(q.B[o], q.F, inExp+1)
 		}
+		ct, err := kern.Dot(nil, q.W[o], bias)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -185,22 +196,30 @@ func (q *QConv) OutShape(in tensor.Shape) (tensor.Shape, error) {
 	return tensor.Shape{q.P.OutC, q.P.OutH(), q.P.OutW()}, nil
 }
 
-// Apply implements Op.
-func (q *QConv) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+// Apply implements Op. A single kernel preprocessing pass over the input
+// tensor serves every (filter, position) output element: each input
+// ciphertext's inverse and power tables are computed once even though
+// overlapping receptive fields read it many times.
+func (q *QConv) Apply(ev *paillier.Evaluator, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
 	xs := x.Flatten().Data()
 	if len(xs) != q.P.InC*q.P.InH*q.P.InW {
 		return nil, fmt.Errorf("qnn: %s expects %d inputs, got %d", q.name, q.P.InC*q.P.InH*q.P.InW, len(xs))
 	}
 	oh, ow := q.P.OutH(), q.P.OutW()
+	use, maxBits := q.scanUse(len(xs))
+	total := q.P.OutC * oh * ow
+	kern, err := ev.NewLinearKernel(xs, use, total, maxBits, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := tensor.New[*paillier.Ciphertext](q.P.OutC, oh, ow)
 	od := out.Data()
 	var mu sync.Mutex
 	var firstErr error
-	total := q.P.OutC * oh * ow
 	parallelRange(total, workers, func(idx int) {
 		f := idx / (oh * ow)
 		pos := idx % (oh * ow)
-		ct, err := q.applyOne(pk, xs, f, pos, inExp)
+		ct, err := q.applyOne(kern, f, pos, inExp)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -217,30 +236,58 @@ func (q *QConv) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, w
 	return out, nil
 }
 
+// scanUse derives the per-input-offset column usage of the convolution:
+// kernel position k's sign profile across filters, scattered through the
+// receptive-field offsets of every output position.
+func (q *QConv) scanUse(inputs int) ([]paillier.ColumnUse, int) {
+	rowLen := q.P.InC * q.P.KH * q.P.KW
+	colUse := make([]paillier.ColumnUse, rowLen)
+	maxBits := 0
+	for f := range q.W {
+		for k, w := range q.W[f] {
+			if w == 0 {
+				continue
+			}
+			if w > 0 {
+				colUse[k] |= paillier.UsePos
+			} else {
+				colUse[k] |= paillier.UseNeg
+			}
+			if b := paillier.WeightBits(w); b > maxBits {
+				maxBits = b
+			}
+		}
+	}
+	use := make([]paillier.ColumnUse, inputs)
+	for _, row := range q.Rows {
+		for k, off := range row {
+			if off >= 0 {
+				use[off] |= colUse[k]
+			}
+		}
+	}
+	return use, maxBits
+}
+
 // applyOne computes one output element: the homomorphic dot product of
-// filter f with the receptive field at output position pos.
-func (q *QConv) applyOne(pk *paillier.PublicKey, xs []*paillier.Ciphertext, f, pos, inExp int) (*paillier.Ciphertext, error) {
+// filter f with the receptive field at output position pos, through the
+// shared kernel.
+func (q *QConv) applyOne(kern *paillier.LinearKernel, f, pos, inExp int) (*paillier.Ciphertext, error) {
 	row := q.Rows[pos]
-	gathered := make([]*paillier.Ciphertext, 0, len(row))
+	idx := make([]int, 0, len(row))
 	weights := make([]int64, 0, len(row))
 	for k, off := range row {
 		if off < 0 || q.W[f][k] == 0 {
 			continue // padding or zero weight contributes nothing
 		}
-		gathered = append(gathered, xs[off])
+		idx = append(idx, off)
 		weights = append(weights, q.W[f][k])
 	}
-	ct, err := paillier.DotScaled(pk, gathered, weights, 0)
-	if err != nil {
-		return nil, err
-	}
+	var bias *big.Int
 	if q.B[f] != 0 {
-		ct, err = pk.AddPlain(ct, biasAt(q.B[f], q.F, inExp+1))
-		if err != nil {
-			return nil, err
-		}
+		bias = biasAt(q.B[f], q.F, inExp+1)
 	}
-	return ct, nil
+	return kern.Dot(idx, weights, bias)
 }
 
 // ApplyPlain implements Op.
@@ -335,12 +382,15 @@ func (q *QAffine) coeffIndex(in tensor.Shape) (func(int) int, error) {
 	}
 }
 
-// Apply implements Op: element i becomes E(x_i)^{Scale[c]}·E(Shift[c]).
-func (q *QAffine) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
+// Apply implements Op: element i becomes E(x_i)^{Scale[c]}·E(Shift[c]),
+// re-randomized with a fresh blinding factor (a zero scale would
+// otherwise emit a deterministic ciphertext).
+func (q *QAffine) Apply(ev *paillier.Evaluator, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, error) {
 	idx, err := q.coeffIndex(x.Shape())
 	if err != nil {
 		return nil, err
 	}
+	pk := ev.PublicKey()
 	out := tensor.New[*paillier.Ciphertext](x.Shape()...)
 	xd, od := x.Data(), out.Data()
 	var mu sync.Mutex
@@ -350,6 +400,13 @@ func (q *QAffine) Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp,
 		ct, err := pk.MulScalarInt64(xd[i], q.Scale[c])
 		if err == nil && q.Shift != nil && q.Shift[c] != 0 {
 			ct, err = pk.AddPlain(ct, biasAt(q.Shift[c], q.F, inExp+1))
+		}
+		if err == nil {
+			var rn *big.Int
+			rn, err = ev.Blinding()
+			if err == nil {
+				ct = pk.RerandomizeWith(ct, rn)
+			}
 		}
 		if err != nil {
 			mu.Lock()
@@ -403,7 +460,7 @@ func (q *QFlatten) OutShape(in tensor.Shape) (tensor.Shape, error) {
 }
 
 // Apply implements Op.
-func (q *QFlatten) Apply(_ *paillier.PublicKey, x *paillier.CipherTensor, _, _ int) (*paillier.CipherTensor, error) {
+func (q *QFlatten) Apply(_ *paillier.Evaluator, x *paillier.CipherTensor, _, _ int) (*paillier.CipherTensor, error) {
 	return x.Flatten(), nil
 }
 

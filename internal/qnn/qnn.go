@@ -34,8 +34,10 @@ type Op interface {
 	ScaleSteps() int
 	// Apply evaluates the op over an encrypted tensor whose plaintexts
 	// are at scale F^inExp, using up to workers goroutines, and returns
-	// the encrypted result at scale F^(inExp+ScaleSteps()).
-	Apply(pk *paillier.PublicKey, x *paillier.CipherTensor, inExp int, workers int) (*paillier.CipherTensor, error)
+	// the encrypted result at scale F^(inExp+ScaleSteps()). The evaluator
+	// supplies the public key plus the blinding factors used to
+	// re-randomize every output ciphertext.
+	Apply(ev *paillier.Evaluator, x *paillier.CipherTensor, inExp int, workers int) (*paillier.CipherTensor, error)
 	// ApplyPlain evaluates the same arithmetic over plaintext big
 	// integers; CipherBase/PlainBase baselines and tests use it to check
 	// the ciphertext path bit-for-bit.
@@ -92,10 +94,10 @@ func StageScaleSteps(ops []Op) int {
 
 // ApplyStage runs a stage's ops in sequence over ciphertexts, returning
 // the result and the output scale exponent.
-func ApplyStage(pk *paillier.PublicKey, ops []Op, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, int, error) {
+func ApplyStage(ev *paillier.Evaluator, ops []Op, x *paillier.CipherTensor, inExp, workers int) (*paillier.CipherTensor, int, error) {
 	cur, exp := x, inExp
 	for _, op := range ops {
-		out, err := op.Apply(pk, cur, exp, workers)
+		out, err := op.Apply(ev, cur, exp, workers)
 		if err != nil {
 			return nil, 0, fmt.Errorf("qnn: applying %s: %w", op.Name(), err)
 		}

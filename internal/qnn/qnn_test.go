@@ -80,7 +80,7 @@ func TestQFCMatchesPlaintext(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct := encryptFloats(t, k, x, F)
-	outCT, err := op.Apply(&k.PublicKey, ct, 1, 2)
+	outCT, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestQConvMatchesPlaintext(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct := encryptFloats(t, k, x, F)
-	outCT, err := op.Apply(&k.PublicKey, ct, 1, 3)
+	outCT, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestQBatchNormMatchesPlaintext(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct := encryptFloats(t, k, x, F)
-	outCT, err := op.Apply(&k.PublicKey, ct, 1, 2)
+	outCT, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestQElemScale(t *testing.T) {
 	x := tensor.MustFromSlice([]float64{1, 4, -2}, 3)
 	want, _ := es.Forward(x)
 	ct := encryptFloats(t, k, x, F)
-	outCT, err := op.Apply(&k.PublicKey, ct, 1, 1)
+	outCT, err := op.Apply(paillier.NewEvaluator(&k.PublicKey), ct, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestApplyStageMergedLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct := encryptFloats(t, k, x, F)
-	outCT, outExp, err := ApplyStage(&k.PublicKey, ops, ct, 1, 2)
+	outCT, outExp, err := ApplyStage(paillier.NewEvaluator(&k.PublicKey), ops, ct, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestApplyStagePlainMatchesCipher(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cipherOut, cipherExp, err := ApplyStage(&k.PublicKey, ops, ct, 1, 2)
+	cipherOut, cipherExp, err := ApplyStage(paillier.NewEvaluator(&k.PublicKey), ops, ct, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
