@@ -47,6 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  table6   obfuscation leakage (distance correlation)\n")
 		fmt.Fprintf(os.Stderr, "  table7   comparison with state-of-the-art systems\n")
 		fmt.Fprintf(os.Stderr, "  stages   per-stage latency percentiles (p50/p95/p99) from real streaming runs\n")
+		fmt.Fprintf(os.Stderr, "  serve    sustained throughput over one multiplexed TCP session at varying client concurrency\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -153,6 +154,12 @@ func run(name string, cfg experiments.Config) error {
 			}
 			fmt.Print(res.Render())
 		}
+	case "serve":
+		res, err := experiments.ServeBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
 	case "all":
 		for _, sub := range []string{"fig1", "kernel", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {
 			if err := run(sub, cfg); err != nil {

@@ -10,6 +10,10 @@
 // Usage:
 //
 //	ppclient -model models/Heart.gob -addr 127.0.0.1:7100 -factor 10000 -n 3
+//
+// With -concurrency C > 1, C goroutines share the single multiplexed
+// session: their round frames interleave on one connection and the
+// client prints aggregate throughput alongside per-inference results.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"ppstream"
@@ -33,6 +38,7 @@ func main() {
 	keyBits := flag.Int("keybits", 512, "Paillier key size")
 	workers := flag.Int("workers", 2, "requested per-stage threads")
 	count := flag.Int("n", 3, "number of inferences to run")
+	concurrency := flag.Int("concurrency", 1, "concurrent in-flight inferences over the one session")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -52,8 +58,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("ppclient: %v", err)
 	}
+	if *concurrency < 1 {
+		*concurrency = 1
+	}
 	ctx := context.Background()
-	client, err := protocol.NewClient(ctx, edge, edge, arch, key, *factor, *workers)
+	opts := protocol.ClientOptions{Workers: *workers, Window: *concurrency}
+	client, err := protocol.NewClientOpts(ctx, edge, edge, arch, key, *factor, opts)
 	if err != nil {
 		log.Fatalf("ppclient: %v", err)
 	}
@@ -73,14 +83,46 @@ func main() {
 		inputs = append(inputs, ppstream.NewTensor(arch.InputShape...))
 	}
 
-	for i, x := range inputs {
-		start := time.Now()
-		out, err := client.Infer(ctx, x)
-		if err != nil {
-			log.Fatalf("ppclient: inference %d: %v", i, err)
-		}
-		fmt.Printf("inference %d: class %d (latency %v, distribution head %v)\n",
-			i, ppstream.ArgMax(out), time.Since(start).Round(time.Microsecond), head(out.Data()))
+	// All workers share the one multiplexed session; with -concurrency 1
+	// this degenerates to the old sequential loop.
+	var (
+		printMu sync.Mutex
+		wg      sync.WaitGroup
+		failed  bool
+		jobs    = make(chan int)
+	)
+	begin := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				out, err := client.Infer(ctx, inputs[i])
+				printMu.Lock()
+				if err != nil {
+					failed = true
+					fmt.Fprintf(os.Stderr, "ppclient: inference %d: %v\n", i, err)
+				} else {
+					fmt.Printf("inference %d: class %d (latency %v, distribution head %v)\n",
+						i, ppstream.ArgMax(out), time.Since(start).Round(time.Microsecond), head(out.Data()))
+				}
+				printMu.Unlock()
+			}
+		}()
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	fmt.Printf("%d inferences at concurrency %d in %v (%.2f req/s)\n",
+		len(inputs), *concurrency, elapsed.Round(time.Millisecond),
+		float64(len(inputs))/elapsed.Seconds())
+	if failed {
+		client.Close()
+		os.Exit(1)
 	}
 }
 

@@ -8,9 +8,13 @@
 //
 //	ppserver -model models/Heart.gob -listen :7100 -factor 10000 -metrics :7200
 //
-// With -metrics set, a JSON snapshot of the server's registry (session
-// counts, per-round latency percentiles, TCP byte/frame counters) is
-// served at http://<addr>/metrics, and pprof at /debug/pprof/.
+// Each session is multiplexed: round frames from different in-flight
+// requests interleave on one connection and are processed concurrently
+// up to -window; per-request state abandoned mid-protocol is evicted
+// after -idlettl. With -metrics set, a JSON snapshot of the server's
+// registry (session counts, per-round latency percentiles, TCP
+// byte/frame counters) is served at http://<addr>/metrics, and pprof at
+// /debug/pprof/.
 package main
 
 import (
@@ -32,6 +36,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7100", "listen address")
 	factor := flag.Int64("factor", 10000, "agreed parameter scaling factor")
 	maxWorkers := flag.Int("maxworkers", 8, "per-stage thread cap per session")
+	window := flag.Int("window", protocol.DefaultSessionWindow, "concurrent in-flight round frames per session")
+	idleTTL := flag.Duration("idlettl", protocol.DefaultIdleTTL, "evict per-request state after this much inactivity")
 	metricsAddr := flag.String("metrics", "", "serve JSON metrics + pprof on this address (e.g. :7200; empty disables)")
 	flag.Parse()
 	if *modelPath == "" {
@@ -76,7 +82,14 @@ func main() {
 				edge = stream.NewTCPEdge(conn)
 			}
 			fmt.Printf("ppserver: session from %s\n", conn.RemoteAddr())
-			if err := protocol.ServeSessionObserved(ctx, edge, edge, netModel, *factor, *maxWorkers, reg); err != nil {
+			cfg := protocol.SessionConfig{
+				Factor:     *factor,
+				MaxWorkers: *maxWorkers,
+				Window:     *window,
+				IdleTTL:    *idleTTL,
+				Registry:   reg,
+			}
+			if err := protocol.ServeSessionConfig(ctx, edge, edge, netModel, cfg); err != nil {
 				log.Printf("ppserver: session %s: %v", conn.RemoteAddr(), err)
 				return
 			}

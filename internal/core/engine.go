@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ppstream/internal/alloc"
@@ -80,6 +81,10 @@ type Options struct {
 	// ProfiledEncrypt supplies the input-encryption time when
 	// ProfiledTimes is set.
 	ProfiledEncrypt float64
+	// Window bounds the serving runtime's concurrently in-flight
+	// requests (Serve/Submit backpressure); <= 0 leaves admission
+	// bounded only by the pipeline's edge buffers.
+	Window int
 }
 
 // Engine is a ready-to-run PP-Stream deployment for one model.
@@ -97,6 +102,10 @@ type Engine struct {
 	blind       *paillier.Pool
 	keyBits     int
 	reg         *obs.Registry
+
+	// serveMu guards the persistent serving runtime (see serve.go).
+	serveMu sync.Mutex
+	disp    *stream.Dispatcher
 }
 
 // NewEngine builds the engine: protocol construction, offline profiling,
@@ -186,8 +195,10 @@ func NewEngine(net *nn.Network, key *paillier.PrivateKey, opts Options) (*Engine
 	return e, nil
 }
 
-// Close releases background resources (the blinding pools).
+// Close stops the serving runtime (if up) and releases background
+// resources (the blinding pools).
 func (e *Engine) Close() {
+	_ = e.Shutdown()
 	if e.pool != nil {
 		e.pool.Close()
 	}
@@ -444,73 +455,78 @@ type StreamStats struct {
 	// pipelining benefit).
 	FirstLatency time.Duration
 	// Traces holds each completed request's per-stage latency breakdown
-	// (queue wait + busy per stage), indexed by sequence number — the
+	// (queue wait + busy per stage), indexed by input position — the
 	// raw material for the Table IV/V-style percentile tables.
 	Traces []*stream.Trace
+	// Errors holds each request's failure (nil on success), indexed by
+	// input position. A failed request does not abort the batch: its
+	// result slot stays nil and the other requests complete normally.
+	Errors []error
+	// Failed counts the non-nil entries of Errors.
+	Failed int
 }
 
-// InferStream runs a batch of inputs through the streaming pipeline and
-// returns results in submission order plus timing statistics.
+// InferStream runs a batch of inputs through the serving runtime and
+// returns results indexed by input position plus timing statistics. It
+// is a thin batch wrapper over Serve/Submit: if the engine is not
+// already serving, an ephemeral runtime is started for the batch and
+// fully shut down afterwards (no stage goroutines survive, even on
+// error paths). Per-request failures land in StreamStats.Errors; the
+// returned error covers only runtime-level failures.
 func (e *Engine) InferStream(ctx context.Context, inputs []*tensor.Dense) ([]*tensor.Dense, *StreamStats, error) {
 	if len(inputs) == 0 {
 		return nil, nil, errors.New("core: no inputs")
 	}
-	p, err := e.Pipeline()
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := p.Start(ctx); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	submitErr := make(chan error, 1)
-	go func() {
-		defer close(submitErr)
-		for _, x := range inputs {
-			if _, err := p.Submit(ctx, x); err != nil {
-				submitErr <- err
-				return
-			}
-		}
-		p.Close()
-	}()
-	results := make([]*tensor.Dense, len(inputs))
-	traces := make([]*stream.Trace, len(inputs))
-	var firstLatency time.Duration
-	for i := 0; i < len(inputs); i++ {
-		m, err := p.Recv(ctx)
-		if err != nil {
+	if !e.Serving() {
+		if err := e.Serve(ctx); err != nil {
 			return nil, nil, err
 		}
-		if m.Err != "" {
-			return nil, nil, fmt.Errorf("core: request %d failed: %s", m.Seq, m.Err)
-		}
-		env, ok := m.Payload.(*protocol.Envelope)
-		if !ok || env.Result == nil {
-			return nil, nil, fmt.Errorf("core: request %d produced no result", m.Seq)
-		}
-		if int(m.Seq) >= len(results) {
-			return nil, nil, fmt.Errorf("core: unexpected sequence %d", m.Seq)
-		}
-		results[m.Seq] = env.Result
-		traces[m.Seq] = m.Trace
-		if i == 0 {
-			firstLatency = time.Since(start)
-		}
+		defer e.Shutdown()
 	}
-	if err := <-submitErr; err != nil {
-		return nil, nil, err
+	start := time.Now()
+	results := make([]*tensor.Dense, len(inputs))
+	traces := make([]*stream.Trace, len(inputs))
+	errs := make([]error, len(inputs))
+	var (
+		mu           sync.Mutex
+		firstLatency time.Duration
+		wg           sync.WaitGroup
+	)
+	for i, x := range inputs {
+		i, x := i, x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, trace, err := e.Submit(ctx, x)
+			mu.Lock()
+			defer mu.Unlock()
+			results[i], traces[i], errs[i] = out, trace, err
+			if firstLatency == 0 {
+				firstLatency = time.Since(start)
+			}
+		}()
 	}
+	wg.Wait()
 	makespan := time.Since(start)
-	if err := p.Wait(); err != nil {
-		return nil, nil, err
-	}
 	stats := &StreamStats{
 		Requests:         len(inputs),
 		Makespan:         makespan,
 		EffectiveLatency: makespan / time.Duration(len(inputs)),
 		FirstLatency:     firstLatency,
 		Traces:           traces,
+		Errors:           errs,
 	}
-	return results, stats, nil
+	var runtimeErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		stats.Failed++
+		// A dead runtime (not a per-request failure) aborts the batch.
+		var reqErr *RequestError
+		if !errors.As(err, &reqErr) && runtimeErr == nil {
+			runtimeErr = err
+		}
+	}
+	return results, stats, runtimeErr
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ppstream/internal/tensor"
+)
+
+func serveEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := NewEngine(smallNet(t), key(t), Options{Factor: 1000, ProfileReps: 1, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+// TestEngineServeConcurrentSubmitters: N goroutines share the persistent
+// runtime; each gets its own correct result.
+func TestEngineServeConcurrentSubmitters(t *testing.T) {
+	eng := serveEngine(t)
+	net := smallNet(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Serve(ctx); err == nil {
+		t.Error("double Serve accepted")
+	}
+	inputs := randInputs(8)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(inputs))
+	for _, x := range inputs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, trace, err := eng.Submit(ctx, x)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if trace == nil || len(trace.Spans) == 0 {
+				errs <- errors.New("no trace spans")
+				return
+			}
+			want, _ := net.Forward(x)
+			if tensor.ArgMax(want) != tensor.ArgMax(out) {
+				errs <- errors.New("prediction differs from plaintext")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := eng.Stats()
+	if snap.Counters["serve.requests.ok"] != uint64(len(inputs)) {
+		t.Errorf("serve.requests.ok = %d, want %d", snap.Counters["serve.requests.ok"], len(inputs))
+	}
+	if snap.Gauges["serve.inflight"] != 0 {
+		t.Errorf("serve.inflight = %d after drain", snap.Gauges["serve.inflight"])
+	}
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Submit(ctx, inputs[0]); !errors.Is(err, ErrNotServing) {
+		t.Errorf("submit after shutdown: %v", err)
+	}
+	// The runtime restarts cleanly.
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Submit(ctx, inputs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineServeErrorIsolation: a request that fails mid-pipeline
+// returns a *RequestError naming the stage while concurrent requests
+// complete undisturbed, and the failed request's obfuscation state is
+// released.
+func TestEngineServeErrorIsolation(t *testing.T) {
+	eng := serveEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	good := randInputs(3)
+	bad := tensor.Zeros(7) // wrong input size: fails the first linear stage
+	var wg sync.WaitGroup
+	errs := make(chan error, len(good))
+	for _, x := range good {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := eng.Submit(ctx, x); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	_, _, badErr := eng.Submit(ctx, bad)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("good request disturbed: %v", err)
+	}
+	var reqErr *RequestError
+	if !errors.As(badErr, &reqErr) {
+		t.Fatalf("bad request error %v (type %T), want *RequestError", badErr, badErr)
+	}
+	if reqErr.Stage != "linear-0" {
+		t.Errorf("failed stage %q, want linear-0", reqErr.Stage)
+	}
+	if got := eng.Stats().Counters["serve.requests.err"]; got != 1 {
+		t.Errorf("serve.requests.err = %d", got)
+	}
+}
+
+// TestInferStreamPartialFailure: one bad input fails only its own slot;
+// the batch completes and reports the per-request error.
+func TestInferStreamPartialFailure(t *testing.T) {
+	eng := serveEngine(t)
+	net := smallNet(t)
+	inputs := randInputs(5)
+	inputs[2] = tensor.Zeros(9) // wrong size
+	results, stats, err := eng.InferStream(context.Background(), inputs)
+	if err != nil {
+		t.Fatalf("batch-level error for a per-request failure: %v", err)
+	}
+	if stats.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", stats.Failed)
+	}
+	var reqErr *RequestError
+	if !errors.As(stats.Errors[2], &reqErr) || reqErr.Stage != "linear-0" {
+		t.Errorf("slot 2 error %v", stats.Errors[2])
+	}
+	if results[2] != nil {
+		t.Error("failed slot has a result")
+	}
+	for i, x := range inputs {
+		if i == 2 {
+			continue
+		}
+		if stats.Errors[i] != nil || results[i] == nil {
+			t.Fatalf("slot %d: err=%v result=%v", i, stats.Errors[i], results[i])
+		}
+		want, _ := net.Forward(x)
+		if tensor.ArgMax(want) != tensor.ArgMax(results[i]) {
+			t.Errorf("slot %d prediction differs", i)
+		}
+	}
+}
+
+// TestInferStreamLeaksNoGoroutines: repeated ephemeral batch runs
+// (including ones with failures) leave no stage goroutines behind —
+// the leak the old early-return paths had.
+func TestInferStreamLeaksNoGoroutines(t *testing.T) {
+	eng := serveEngine(t)
+	inputs := randInputs(2)
+	inputs = append(inputs, tensor.Zeros(3)) // one failing request per batch
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		if _, _, err := eng.InferStream(context.Background(), inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow stage goroutines a moment to exit after Shutdown returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after ephemeral batches", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	mathrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/protocol"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// serveFactor is the agreed scaling factor for the serving benchmark;
+// the tiny FC net below is well-conditioned at 1000.
+const serveFactor = 1000
+
+// serveNet builds the small two-round network used by the serving
+// benchmark. It is deliberately tiny: the benchmark measures the
+// serving runtime's multiplexing, not kernel throughput (ppbench fig6
+// et al. cover that).
+func serveNet() (*nn.Network, error) {
+	r := mathrand.New(mathrand.NewSource(17))
+	return nn.NewNetwork("serve-bench", tensor.Shape{4},
+		nn.NewFC("fc1", 4, 6, r),
+		nn.NewReLU("relu1"),
+		nn.NewFC("fc2", 6, 3, r),
+		nn.NewSoftMax("softmax"),
+	)
+}
+
+// ServeBenchRow is one concurrency level's sustained-throughput
+// measurement over a single multiplexed session.
+type ServeBenchRow struct {
+	Concurrency int
+	Requests    int
+	Elapsed     time.Duration
+	Throughput  float64 // requests per second
+	P50         time.Duration
+	P95         time.Duration
+	P99         time.Duration
+}
+
+// ServeBenchResult holds the serving-runtime throughput sweep. At the
+// highest concurrency level one deliberately malformed request is
+// injected; InjectedError records the isolated per-request error while
+// CompletedAlongside counts the requests that still succeeded on the
+// same session.
+type ServeBenchResult struct {
+	KeyBits            int
+	Rows               []ServeBenchRow
+	InjectedError      string
+	CompletedAlongside int
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// serveLevel runs n requests from c concurrent goroutines over one
+// fresh TCP session pair and returns per-request latencies plus, when
+// injectFailure is set, the error of a deliberately wrong-shaped
+// request (which must not disturb the others).
+func serveLevel(cfg Config, c, n int, injectFailure bool) (lats []time.Duration, elapsed time.Duration, injected error, err error) {
+	netw, buildErr := serveNet()
+	if buildErr != nil {
+		return nil, 0, nil, buildErr
+	}
+	key, keyErr := sharedKey(cfg.KeyBits)
+	if keyErr != nil {
+		return nil, 0, nil, keyErr
+	}
+
+	serverEdge, addr, listenErr := stream.ListenEdge("127.0.0.1:0")
+	if listenErr != nil {
+		return nil, 0, nil, listenErr
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- protocol.ServeSessionConfig(ctx, serverEdge, serverEdge, netw, protocol.SessionConfig{
+			Factor:     serveFactor,
+			MaxWorkers: 2,
+			Window:     c,
+		})
+	}()
+	clientEdge, dialErr := stream.DialEdge(addr)
+	if dialErr != nil {
+		return nil, 0, nil, dialErr
+	}
+	client, clientErr := protocol.NewClientOpts(ctx, clientEdge, clientEdge, netw, key, serveFactor,
+		protocol.ClientOptions{Workers: 1, Window: c})
+	if clientErr != nil {
+		return nil, 0, nil, clientErr
+	}
+
+	r := mathrand.New(mathrand.NewSource(23))
+	inputs := make([]*tensor.Dense, n)
+	for i := range inputs {
+		x := tensor.Zeros(4)
+		for j := range x.Data() {
+			x.Data()[j] = r.NormFloat64()
+		}
+		inputs[i] = x
+	}
+	badSlot := -1
+	if injectFailure {
+		// Wrong input size: the server rejects this request's first
+		// round; the session and the other in-flight requests continue.
+		badSlot = n / 2
+		inputs[badSlot] = tensor.Zeros(9)
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+		errs = make([]error, n)
+	)
+	begin := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				_, ierr := client.Infer(ctx, inputs[i])
+				lat := time.Since(start)
+				mu.Lock()
+				errs[i] = ierr
+				if ierr == nil {
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed = time.Since(begin)
+
+	if cerr := client.Close(); cerr != nil {
+		return nil, 0, nil, cerr
+	}
+	if serr := <-serveErr; serr != nil {
+		return nil, 0, nil, fmt.Errorf("server session: %w", serr)
+	}
+	for i, e := range errs {
+		if i == badSlot {
+			injected = e
+			continue
+		}
+		if e != nil {
+			return nil, 0, nil, fmt.Errorf("request %d failed: %w", i, e)
+		}
+	}
+	if injectFailure && injected == nil {
+		return nil, 0, nil, fmt.Errorf("injected malformed request was not rejected")
+	}
+	return lats, elapsed, injected, nil
+}
+
+// ServeBench measures sustained throughput of the multiplexed serving
+// runtime: one TCP session per concurrency level, c client goroutines
+// interleaving their round frames over it, with request/second and
+// latency percentiles per level. The highest level also demonstrates
+// per-request error isolation by injecting one malformed request.
+func ServeBench(cfg Config) (*ServeBenchResult, error) {
+	cfg = cfg.withDefaults()
+	protocol.RegisterServiceWire()
+	levels := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		levels = []int{1, 2, 4}
+	}
+	res := &ServeBenchResult{KeyBits: cfg.KeyBits}
+	for li, c := range levels {
+		n := cfg.Requests
+		if n < 4*c {
+			n = 4 * c
+		}
+		inject := li == len(levels)-1
+		lats, elapsed, injected, err := serveLevel(cfg, c, n, inject)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: serve bench c=%d: %w", c, err)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.Rows = append(res.Rows, ServeBenchRow{
+			Concurrency: c,
+			Requests:    n,
+			Elapsed:     elapsed,
+			Throughput:  float64(len(lats)) / elapsed.Seconds(),
+			P50:         percentile(lats, 0.50),
+			P95:         percentile(lats, 0.95),
+			P99:         percentile(lats, 0.99),
+		})
+		if inject {
+			res.InjectedError = injected.Error()
+			res.CompletedAlongside = len(lats)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the throughput sweep.
+func (r *ServeBenchResult) Render() string {
+	header := []string{"concurrency", "requests", "elapsed", "req/s", "p50", "p95", "p99"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Concurrency), fmt.Sprint(row.Requests),
+			row.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", row.Throughput),
+			fmtDur(row.P50), fmtDur(row.P95), fmtDur(row.P99),
+		})
+	}
+	return fmt.Sprintf(
+		"Serving runtime: sustained throughput over one multiplexed session (%d-bit key)\n%s"+
+			"error isolation at c=%d: 1 injected malformed request rejected (%q), %d others completed\n",
+		r.KeyBits, renderTable(header, rows),
+		r.Rows[len(r.Rows)-1].Concurrency, r.InjectedError, r.CompletedAlongside)
+}

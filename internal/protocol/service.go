@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppstream/internal/nn"
@@ -70,20 +71,119 @@ func RegisterServiceWire() {
 	stream.RegisterWireType(&roundFrame{})
 }
 
+// SessionConfig parameterizes the server side of one multiplexed
+// session.
+type SessionConfig struct {
+	// Factor is the parameter scaling factor the server insists on.
+	Factor int64
+	// MaxWorkers bounds the per-stage threads a client may request.
+	MaxWorkers int
+	// Window bounds how many round frames the session processes
+	// concurrently (different requests interleave on one connection
+	// pair); <= 0 uses DefaultSessionWindow.
+	Window int
+	// IdleTTL evicts per-request obfuscation state after this much
+	// inactivity, so abandoned requests (client crash, mid-protocol
+	// error) stop leaking permutations; <= 0 uses DefaultIdleTTL.
+	IdleTTL time.Duration
+	// Registry, when non-nil, receives session metrics.
+	Registry *obs.Registry
+}
+
+// DefaultSessionWindow is the concurrent-frame bound a session uses when
+// SessionConfig.Window is unset.
+const DefaultSessionWindow = 8
+
+// DefaultIdleTTL is the per-request state eviction deadline used when
+// SessionConfig.IdleTTL is unset.
+const DefaultIdleTTL = 2 * time.Minute
+
 // ServeSession runs the model-provider side of one client session: it
 // reads the Hello, builds the role for the client's key, and answers
 // each round until the client closes. maxWorkers bounds the per-stage
 // threads a client may request.
 func ServeSession(ctx context.Context, in, out stream.Edge, net *nn.Network, factor int64, maxWorkers int) error {
-	return ServeSessionObserved(ctx, in, out, net, factor, maxWorkers, nil)
+	return ServeSessionConfig(ctx, in, out, net, SessionConfig{Factor: factor, MaxWorkers: maxWorkers})
 }
 
 // ServeSessionObserved is ServeSession publishing session metrics to reg
 // (which may be nil): "sessions.total" / "sessions.active",
-// "rounds.served" / "rounds.errors", the aggregate per-round linear
-// processing histogram "round.linear", and per-round-index histograms
+// "rounds.served" / "rounds.errors", "requests.completed" /
+// "requests.evicted", the aggregate per-round linear processing
+// histogram "round.linear", and per-round-index histograms
 // "round.<idx>.linear" mirroring the paper's per-stage latency tables.
 func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Network, factor int64, maxWorkers int, reg *obs.Registry) error {
+	return ServeSessionConfig(ctx, in, out, net, SessionConfig{Factor: factor, MaxWorkers: maxWorkers, Registry: reg})
+}
+
+// reqState is the session's per-request bookkeeping: the last round the
+// request completed and when it was last seen, feeding idle eviction.
+type reqState struct {
+	lastRound int
+	lastSeen  time.Time
+}
+
+// sessionReqs tracks live requests under one session.
+type sessionReqs struct {
+	mu   sync.Mutex
+	live map[uint64]*reqState
+}
+
+func (s *sessionReqs) touch(req uint64, round int) {
+	s.mu.Lock()
+	st := s.live[req]
+	if st == nil {
+		st = &reqState{}
+		s.live[req] = st
+	}
+	st.lastRound = round
+	st.lastSeen = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *sessionReqs) drop(req uint64) {
+	s.mu.Lock()
+	delete(s.live, req)
+	s.mu.Unlock()
+}
+
+// expire removes and returns the requests idle longer than ttl.
+func (s *sessionReqs) expire(ttl time.Duration) []uint64 {
+	cutoff := time.Now().Add(-ttl)
+	var evicted []uint64
+	s.mu.Lock()
+	for req, st := range s.live {
+		if st.lastSeen.Before(cutoff) {
+			delete(s.live, req)
+			evicted = append(evicted, req)
+		}
+	}
+	s.mu.Unlock()
+	return evicted
+}
+
+func (s *sessionReqs) count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.live))
+}
+
+// ServeSessionConfig runs one multiplexed model-provider session: round
+// frames from different in-flight requests interleave on the connection
+// pair, are processed concurrently up to cfg.Window, and are answered
+// tagged with the request ID they carry in Seq so the client can demux.
+// Per-request obfuscation state is dropped when a request finishes its
+// last round and evicted after cfg.IdleTTL of inactivity.
+func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Network, cfg SessionConfig) error {
+	reg := cfg.Registry
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultSessionWindow
+	}
+	ttl := cfg.IdleTTL
+	if ttl <= 0 {
+		ttl = DefaultIdleTTL
+	}
 	var roundsServed, roundErrs *obs.Counter
 	var roundTime *obs.Histogram
 	if reg != nil {
@@ -103,13 +203,13 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	if !ok {
 		return fmt.Errorf("protocol: expected Hello, got %T", first.Payload)
 	}
-	if hello.Factor != factor {
-		return fmt.Errorf("protocol: client factor %d does not match server's %d", hello.Factor, factor)
+	if hello.Factor != cfg.Factor {
+		return fmt.Errorf("protocol: client factor %d does not match server's %d", hello.Factor, cfg.Factor)
 	}
 	pk, err := helloPublicKey(hello)
 	if err != nil {
-		// Reject the session but tell the client why: the error frame is
-		// consumed by its first-round Recv.
+		// Reject the session but tell the client why: an error frame
+		// outside any request is session-fatal on the client side.
 		if out != nil {
 			_ = out.Send(ctx, &stream.Message{Seq: first.Seq, Err: err.Error()})
 		}
@@ -119,8 +219,8 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	if workers < 1 {
 		workers = 1
 	}
-	if maxWorkers > 0 && workers > maxWorkers {
-		workers = maxWorkers
+	if cfg.MaxWorkers > 0 && workers > cfg.MaxWorkers {
+		workers = cfg.MaxWorkers
 	}
 	// Per-session blinding pool: the kernel re-randomizes every output
 	// ciphertext, and pooled r^n factors keep those exponentiations off
@@ -130,23 +230,68 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 	if reg != nil {
 		reg.GaugeFunc("pool.workers.alive", blind.AliveWorkers)
 	}
-	mp, err := BuildModelProvider(net, pk, Config{Factor: factor, Workers: workers, BlindPool: blind})
+	mp, err := BuildModelProvider(net, pk, Config{Factor: cfg.Factor, Workers: workers, BlindPool: blind})
 	if err != nil {
 		return fmt.Errorf("protocol: building provider for session: %w", err)
 	}
 	mp.Instrument(reg)
-	for {
-		msg, err := in.Recv(ctx)
-		if err != nil {
-			if errors.Is(err, stream.ErrEdgeClosed) {
-				return nil
+	lastRound := mp.Stages() - 1
+
+	reqs := &sessionReqs{live: map[uint64]*reqState{}}
+	if reg != nil {
+		reg.GaugeFunc("requests.active", reqs.count)
+	}
+	// Janitor: evict per-request state abandoned mid-protocol so it does
+	// not accumulate for the life of the session.
+	janitorDone := make(chan struct{})
+	defer close(janitorDone)
+	go func() {
+		tick := ttl / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-janitorDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				for _, req := range reqs.expire(ttl) {
+					mp.Forget(req)
+					if reg != nil {
+						reg.Counter("requests.evicted").Inc()
+					}
+				}
 			}
-			return err
 		}
-		frame, ok := msg.Payload.(*roundFrame)
-		if !ok {
-			return fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
+	}()
+
+	// Frame workers: each round frame is handled in its own goroutine
+	// (bounded by window) so independent requests genuinely overlap on
+	// the linear stages. Per-request ordering is preserved by the client,
+	// which never has more than one outstanding frame per request.
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, window)
+		fatalMu sync.Mutex
+		fatal   error
+	)
+	recordFatal := func(err error) {
+		fatalMu.Lock()
+		if fatal == nil {
+			fatal = err
 		}
+		fatalMu.Unlock()
+	}
+	sessionErr := func() error {
+		fatalMu.Lock()
+		defer fatalMu.Unlock()
+		return fatal
+	}
+	handle := func(msg *stream.Message, frame *roundFrame) {
 		env, err := FromWire(frame.Env, pk)
 		if err != nil {
 			// Malformed client frame: reply with an error message but
@@ -155,10 +300,11 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 				roundErrs.Inc()
 			}
 			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
-				return sendErr
+				recordFatal(sendErr)
 			}
-			continue
+			return
 		}
+		reqs.touch(env.Req, frame.Round)
 		start := time.Now()
 		result, err := mp.ProcessLinear(frame.Round, env)
 		if reg != nil {
@@ -170,46 +316,125 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 			if roundErrs != nil {
 				roundErrs.Inc()
 			}
+			// The request is dead on this side: release its permutation
+			// state now rather than waiting for the TTL.
+			reqs.drop(env.Req)
+			mp.Forget(env.Req)
 			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
-				return sendErr
+				recordFatal(sendErr)
 			}
-			continue
+			return
+		}
+		if frame.Round == lastRound {
+			// The request's last linear round: its obfuscation state is
+			// fully consumed; drop the entry instead of leaking it.
+			reqs.drop(env.Req)
+			mp.Forget(env.Req)
+			if reg != nil {
+				reg.Counter("requests.completed").Inc()
+			}
 		}
 		if roundsServed != nil {
 			roundsServed.Inc()
 		}
 		reply, err := ToWire(result)
 		if err != nil {
-			return err
+			recordFatal(err)
+			return
 		}
 		if err := out.Send(ctx, &stream.Message{Seq: msg.Seq, Payload: &roundFrame{Round: frame.Round, Env: reply}}); err != nil {
-			return err
+			recordFatal(err)
 		}
 	}
+	var loopErr error
+	for loopErr == nil && sessionErr() == nil {
+		msg, err := in.Recv(ctx)
+		if err != nil {
+			if !errors.Is(err, stream.ErrEdgeClosed) {
+				loopErr = err
+			}
+			break
+		}
+		frame, ok := msg.Payload.(*roundFrame)
+		if !ok {
+			loopErr = fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			loopErr = ctx.Err()
+		}
+		if loopErr != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			handle(msg, frame)
+		}()
+	}
+	wg.Wait()
+	// Polite termination: tell the client no more replies are coming so
+	// its reader goroutine unblocks.
+	if out != nil {
+		_ = out.CloseSend()
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+	return sessionErr()
 }
 
-// Client drives the data-provider side of a remote session. A session
-// multiplexes one connection pair, so concurrent Infer calls are
-// serialized internally; for parallel inference open one Client per
-// connection.
+// ClientOptions parameterizes the data-provider session client.
+type ClientOptions struct {
+	// Workers is the per-stage thread count (local non-linear stages and
+	// the requested server-side count).
+	Workers int
+	// Window bounds concurrent in-flight Infer calls on the session
+	// (wire-level multiplexing backpressure); <= 0 uses
+	// DefaultClientWindow.
+	Window int
+}
+
+// DefaultClientWindow is the in-flight bound a client uses when
+// ClientOptions.Window is unset.
+const DefaultClientWindow = 8
+
+// Client drives the data-provider side of a remote session. The session
+// multiplexes one connection pair: concurrent Infer calls interleave
+// their round frames on the wire, tagged by request ID, and a reader
+// goroutine demuxes the server's replies — so one connection carries
+// Window in-flight inferences at once.
 type Client struct {
 	dp     *DataProvider
 	pk     *paillier.PublicKey
 	in     stream.Edge // frames from the server
 	out    stream.Edge // frames to the server
 	rounds int
+	window chan struct{}
+	nextID atomic.Uint64
 
-	// mu serializes Infer: rounds interleave request/reply frames on the
-	// shared edges, and nextID must not race.
-	mu     sync.Mutex
-	nextID uint64
+	mu      sync.Mutex
+	pending map[uint64]chan *stream.Message
+	err     error
+
+	readerDone chan struct{}
 }
 
 // NewClient builds the data-provider role, sends the Hello, and returns
-// a client ready to Infer. The architecture network may be a skeleton;
-// its linear weights are not read.
+// a client ready to Infer with the default in-flight window. The
+// architecture network may be a skeleton; its linear weights are not
+// read.
 func NewClient(ctx context.Context, in, out stream.Edge, arch *nn.Network, sk *paillier.PrivateKey, factor int64, workers int) (*Client, error) {
-	dp, err := BuildDataProvider(arch, sk, Config{Factor: factor, Workers: workers})
+	return NewClientOpts(ctx, in, out, arch, sk, factor, ClientOptions{Workers: workers})
+}
+
+// NewClientOpts is NewClient with an explicit in-flight window. ctx
+// bounds the session's reader goroutine as well as the Hello send.
+func NewClientOpts(ctx context.Context, in, out stream.Edge, arch *nn.Network, sk *paillier.PrivateKey, factor int64, opts ClientOptions) (*Client, error) {
+	dp, err := BuildDataProvider(arch, sk, Config{Factor: factor, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -223,21 +448,106 @@ func NewClient(ctx context.Context, in, out stream.Edge, arch *nn.Network, sk *p
 			rounds++
 		}
 	}
-	hello := &Hello{N: sk.N.Bytes(), Factor: factor, Workers: workers}
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultClientWindow
+	}
+	hello := &Hello{N: sk.N.Bytes(), Factor: factor, Workers: opts.Workers}
 	if err := out.Send(ctx, &stream.Message{Payload: hello}); err != nil {
 		return nil, err
 	}
-	return &Client{dp: dp, pk: &sk.PublicKey, in: in, out: out, rounds: rounds, nextID: 1}, nil
+	c := &Client{
+		dp: dp, pk: &sk.PublicKey, in: in, out: out, rounds: rounds,
+		window:     make(chan struct{}, window),
+		pending:    map[uint64]chan *stream.Message{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop(ctx)
+	return c, nil
+}
+
+// readLoop demuxes server replies to the Infer call that owns the
+// request ID in Seq. An error frame outside any live request (e.g. a
+// Hello rejection) and any transport error are session-fatal: every
+// in-flight and future Infer fails with the recorded cause.
+func (c *Client) readLoop(ctx context.Context) {
+	defer close(c.readerDone)
+	for {
+		msg, err := c.in.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, stream.ErrEdgeClosed) {
+				c.fatal(errors.New("protocol: session closed by server"))
+			} else {
+				c.fatal(err)
+			}
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.Seq]
+		c.mu.Unlock()
+		if ch == nil {
+			if msg.Err != "" {
+				c.fatal(fmt.Errorf("protocol: server rejected session: %s", msg.Err))
+				return
+			}
+			continue // stray reply for an abandoned request
+		}
+		ch <- msg // buffered: at most one outstanding frame per request
+	}
+}
+
+// fatal records the session's terminal error and wakes every in-flight
+// Infer.
+func (c *Client) fatal(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for req, ch := range c.pending {
+		close(ch)
+		delete(c.pending, req)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("protocol: session closed")
 }
 
 // Infer runs one private inference against the remote model provider.
-// Safe for concurrent use: calls are serialized on the session's single
-// connection pair.
+// Safe for concurrent use: up to Window calls proceed in parallel over
+// the session's single connection pair, each exchanging its own round
+// frames. A server-side per-request failure fails only that call; the
+// session stays alive for the others.
 func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.window }()
+
+	req := c.nextID.Add(1)
+	ch := make(chan *stream.Message, 1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	req := c.nextID
-	c.nextID++
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+	}()
+
 	env, err := c.dp.Encrypt(req, x)
 	if err != nil {
 		return nil, err
@@ -250,9 +560,15 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, err
 		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w}}); err != nil {
 			return nil, err
 		}
-		msg, err := c.in.Recv(ctx)
-		if err != nil {
-			return nil, err
+		var msg *stream.Message
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return nil, c.sessionErr()
+			}
+			msg = m
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 		if msg.Err != "" {
 			return nil, fmt.Errorf("protocol: server rejected round %d: %s", round, msg.Err)

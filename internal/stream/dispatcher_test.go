@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dispPipeline builds a two-stage pipeline: double then add-one. A
+// negative input makes the first stage fail, exercising per-request
+// error routing.
+func dispPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	double := HandlerFunc{StageName: "double", Fn: func(_ context.Context, m *Message) (*Message, error) {
+		v := m.Payload.(int)
+		if v < 0 {
+			return nil, fmt.Errorf("negative input %d", v)
+		}
+		return &Message{Payload: v * 2}, nil
+	}}
+	inc := HandlerFunc{StageName: "inc", Fn: func(_ context.Context, m *Message) (*Message, error) {
+		return &Message{Payload: m.Payload.(int) + 1}, nil
+	}}
+	p, err := NewPipeline(2, double, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDispatcherConcurrentSubmitters: many goroutines submit their own
+// requests and each receives exactly its own result.
+func TestDispatcherConcurrentSubmitters(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d, err := NewDispatcher(ctx, dispPipeline(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := d.Do(ctx, i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if m.Err != "" {
+				errs <- errors.New(m.Err)
+				return
+			}
+			if got := m.Payload.(int); got != i*2+1 {
+				errs <- fmt.Errorf("request %d got %d, want %d", i, got, i*2+1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if d.Completed() != n || d.Failed() != 0 || d.InFlight() != 0 {
+		t.Errorf("counters: completed=%d failed=%d inflight=%d", d.Completed(), d.Failed(), d.InFlight())
+	}
+}
+
+// TestDispatcherErrorIsolation: a failing request returns its own error
+// (with the failing stage) without disturbing concurrent successes.
+func TestDispatcherErrorIsolation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d, err := NewDispatcher(ctx, dispPipeline(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	bad, err := d.Submit(ctx, -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := d.Submit(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := bad.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Err == "" || bm.FailedStage != "double" {
+		t.Errorf("bad request: err=%q stage=%q", bm.Err, bm.FailedStage)
+	}
+	gm, err := good.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Err != "" || gm.Payload.(int) != 11 {
+		t.Errorf("good request disturbed: %+v", gm)
+	}
+	if d.Failed() != 1 {
+		t.Errorf("failed counter %d", d.Failed())
+	}
+}
+
+// TestDispatcherWindowBounds: the in-flight window limits concurrent
+// admissions; a full window blocks Submit until a request completes.
+func TestDispatcherWindowBounds(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	gate := make(chan struct{})
+	stall := HandlerFunc{StageName: "stall", Fn: func(ctx context.Context, m *Message) (*Message, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &Message{Payload: m.Payload}, nil
+	}}
+	p, err := NewPipeline(1, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(ctx, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Third submit must block on the window.
+	blocked, bcancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer bcancel()
+	if _, err := d.Submit(blocked, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("window did not bound admission: %v", err)
+	}
+	if got := d.InFlight(); got != 2 {
+		t.Errorf("inflight %d, want 2", got)
+	}
+	close(gate)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatcherClose: Close drains in-flight work, stops the stage
+// goroutines, and rejects later submissions.
+func TestDispatcherClose(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d, err := NewDispatcher(ctx, dispPipeline(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Submit(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- d.Close() }()
+	m, err := f.Wait(ctx)
+	if err != nil {
+		t.Fatalf("in-flight request lost on close: %v", err)
+	}
+	if m.Payload.(int) != 7 {
+		t.Errorf("payload %v", m.Payload)
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(ctx, 4); !errors.Is(err, ErrDispatcherClosed) {
+		t.Errorf("submit after close: %v", err)
+	}
+}

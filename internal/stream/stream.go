@@ -334,12 +334,23 @@ func (p *Pipeline) Start(ctx context.Context) error {
 // number. Every submitted message carries a fresh Trace that stages
 // append their spans to.
 func (p *Pipeline) Submit(ctx context.Context, payload any) (uint64, error) {
-	seq := p.seq.Add(1) - 1
-	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now(), Trace: &Trace{}}
-	if err := p.first.Send(ctx, m); err != nil {
+	seq := p.Reserve()
+	if err := p.SubmitReserved(ctx, seq, payload); err != nil {
 		return 0, err
 	}
 	return seq, nil
+}
+
+// Reserve allocates the next sequence number without enqueuing anything.
+// Completion routers (see Dispatcher) reserve first so they can register
+// a waiter for the sequence before the message can possibly complete.
+func (p *Pipeline) Reserve() uint64 { return p.seq.Add(1) - 1 }
+
+// SubmitReserved enqueues a payload under a previously Reserved sequence
+// number.
+func (p *Pipeline) SubmitReserved(ctx context.Context, seq uint64, payload any) error {
+	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now(), Trace: &Trace{}}
+	return p.first.Send(ctx, m)
 }
 
 // Close signals that no more requests will be submitted; stages drain and
