@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|all>
+//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|all>
 //
 // Flags:
 //
@@ -48,6 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  table7   comparison with state-of-the-art systems\n")
 		fmt.Fprintf(os.Stderr, "  stages   per-stage latency percentiles (p50/p95/p99) from real streaming runs\n")
 		fmt.Fprintf(os.Stderr, "  serve    sustained throughput over one multiplexed TCP session at varying client concurrency\n")
+		fmt.Fprintf(os.Stderr, "  trace    merged cross-party trace over TCP: per-segment (client/wire/server) p50/p95/p99\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -156,6 +157,12 @@ func run(name string, cfg experiments.Config) error {
 		}
 	case "serve":
 		res, err := experiments.ServeBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "trace":
+		res, err := experiments.TraceBench(cfg)
 		if err != nil {
 			return err
 		}

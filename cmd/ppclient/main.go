@@ -14,6 +14,12 @@
 // With -concurrency C > 1, C goroutines share the single multiplexed
 // session: their round frames interleave on one connection and the
 // client prints aggregate throughput alongside per-inference results.
+//
+// With -trace, every inference carries a distributed trace ID; the
+// client prints the first request's merged cross-party trace (its own
+// spans, the server's spans shipped back in the final round frame, and
+// the inferred wire gap per round) plus the per-segment p50/p95/p99
+// breakdown across all requests.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"ppstream"
 	"ppstream/internal/models"
+	"ppstream/internal/obs"
 	"ppstream/internal/protocol"
 	"ppstream/internal/stream"
 )
@@ -39,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 2, "requested per-stage threads")
 	count := flag.Int("n", 3, "number of inferences to run")
 	concurrency := flag.Int("concurrency", 1, "concurrent in-flight inferences over the one session")
+	trace := flag.Bool("trace", false, "print the merged cross-party trace and per-segment breakdown")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -90,6 +98,7 @@ func main() {
 		wg      sync.WaitGroup
 		failed  bool
 		jobs    = make(chan int)
+		trees   = make([]*obs.TraceTree, len(inputs))
 	)
 	begin := time.Now()
 	for w := 0; w < *concurrency; w++ {
@@ -98,14 +107,28 @@ func main() {
 			defer wg.Done()
 			for i := range jobs {
 				start := time.Now()
-				out, err := client.Infer(ctx, inputs[i])
+				var (
+					out  *ppstream.Tensor
+					tree *obs.TraceTree
+					err  error
+				)
+				if *trace {
+					out, tree, err = client.InferTraced(ctx, inputs[i])
+				} else {
+					out, err = client.Infer(ctx, inputs[i])
+				}
 				printMu.Lock()
 				if err != nil {
 					failed = true
 					fmt.Fprintf(os.Stderr, "ppclient: inference %d: %v\n", i, err)
 				} else {
-					fmt.Printf("inference %d: class %d (latency %v, distribution head %v)\n",
-						i, ppstream.ArgMax(out), time.Since(start).Round(time.Microsecond), head(out.Data()))
+					trees[i] = tree
+					label := ""
+					if tree != nil {
+						label = " trace " + tree.ID
+					}
+					fmt.Printf("inference %d: class %d (latency %v, distribution head %v)%s\n",
+						i, ppstream.ArgMax(out), time.Since(start).Round(time.Microsecond), head(out.Data()), label)
 				}
 				printMu.Unlock()
 			}
@@ -120,6 +143,10 @@ func main() {
 	fmt.Printf("%d inferences at concurrency %d in %v (%.2f req/s)\n",
 		len(inputs), *concurrency, elapsed.Round(time.Millisecond),
 		float64(len(inputs))/elapsed.Seconds())
+	if *trace && !failed {
+		fmt.Printf("\nfirst request's merged cross-party trace:\n%s", obs.RenderTree(trees[0]))
+		fmt.Printf("\nper-segment breakdown across %d requests:\n%s", len(inputs), obs.RenderBreakdown(obs.Breakdown(trees)))
+	}
 	if failed {
 		client.Close()
 		os.Exit(1)

@@ -11,24 +11,34 @@
 // Each session is multiplexed: round frames from different in-flight
 // requests interleave on one connection and are processed concurrently
 // up to -window; per-request state abandoned mid-protocol is evicted
-// after -idlettl. With -metrics set, a JSON snapshot of the server's
-// registry (session counts, per-round latency percentiles, TCP
-// byte/frame counters) is served at http://<addr>/metrics, and pprof at
-// /debug/pprof/.
+// after -idlettl. With -metrics set, the server's registry (session
+// counts, per-round latency percentiles including the kernel/permute
+// split, TCP byte/frame counters, runtime gauges) is served at
+// http://<addr>/metrics — JSON by default, Prometheus text at
+// /metrics/prometheus or with ?format=prometheus — plus /healthz,
+// /readyz, and pprof at /debug/pprof/.
+//
+// The server emits structured JSON log lines (startup configuration,
+// session lifecycle, a shutdown summary with request counts and uptime
+// on SIGINT/SIGTERM). Rounds slower than -slow are logged with their
+// trace ID, correlating with the client's merged trace.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
-	"log"
-	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"ppstream"
 	"ppstream/internal/obs"
 	"ppstream/internal/protocol"
 	"ppstream/internal/stream"
+
+	"net"
 )
 
 func main() {
@@ -38,62 +48,110 @@ func main() {
 	maxWorkers := flag.Int("maxworkers", 8, "per-stage thread cap per session")
 	window := flag.Int("window", protocol.DefaultSessionWindow, "concurrent in-flight round frames per session")
 	idleTTL := flag.Duration("idlettl", protocol.DefaultIdleTTL, "evict per-request state after this much inactivity")
-	metricsAddr := flag.String("metrics", "", "serve JSON metrics + pprof on this address (e.g. :7200; empty disables)")
+	metricsAddr := flag.String("metrics", "", "serve metrics (JSON + Prometheus) + health + pprof on this address (e.g. :7200; empty disables)")
+	slow := flag.Duration("slow", 0, "log rounds slower than this with their trace ID (0 disables)")
+	debugLog := flag.Bool("debug", false, "emit debug-level log lines")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	level := obs.LevelInfo
+	if *debugLog {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stdout, level).SetSlowThreshold(*slow)
+
 	netModel, err := ppstream.LoadModel(*modelPath)
 	if err != nil {
-		log.Fatalf("ppserver: %v", err)
+		logger.Error("model load failed", "path", *modelPath, "err", err.Error())
+		os.Exit(1)
 	}
 	protocol.RegisterServiceWire()
 
-	var reg *obs.Registry
+	// The registry is always on: it feeds the shutdown summary even when
+	// no metrics endpoint is exposed.
+	reg := obs.NewRegistry("ppserver")
+	obs.RegisterRuntimeMetrics(reg)
+
+	var ready atomic.Bool
+	metricsBound := ""
 	if *metricsAddr != "" {
-		reg = obs.NewRegistry("ppserver")
-		bound, _, err := obs.Serve(*metricsAddr, reg)
+		bound, stop, err := obs.ServeOpts(*metricsAddr, obs.HTTPOptions{Ready: ready.Load}, reg)
 		if err != nil {
-			log.Fatalf("ppserver: %v", err)
+			logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err.Error())
+			os.Exit(1)
 		}
-		fmt.Printf("ppserver: metrics on http://%s/metrics (pprof at /debug/pprof/)\n", bound)
+		defer stop(context.Background())
+		metricsBound = bound
 	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("ppserver: %v", err)
+		logger.Error("listen failed", "addr", *listen, "err", err.Error())
+		os.Exit(1)
 	}
-	fmt.Printf("ppserver: model %q (%d parameters), factor %d, listening on %s\n",
-		netModel.ModelName, netModel.ParamCount(), *factor, l.Addr())
+	ready.Store(true)
+	start := time.Now()
+	logger.Info("ppserver started",
+		"model", netModel.ModelName,
+		"params", netModel.ParamCount(),
+		"addr", l.Addr().String(),
+		"metrics_addr", metricsBound,
+		"factor", *factor,
+		"window", *window,
+		"max_workers", *maxWorkers,
+		"idle_ttl", idleTTL.String(),
+		"slow_threshold", slow.String(),
+	)
+
+	// Shutdown summary on SIGINT/SIGTERM: what the server did with its
+	// uptime, from the same registry the metrics endpoint serves.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		ready.Store(false)
+		snap := reg.Snapshot()
+		logger.Info("ppserver shutting down",
+			"signal", sig.String(),
+			"uptime", time.Since(start).Round(time.Millisecond).String(),
+			"sessions_total", snap.Counters["sessions.total"],
+			"requests_ok", snap.Counters["requests.completed"],
+			"requests_evicted", snap.Counters["requests.evicted"],
+			"rounds_served", snap.Counters["rounds.served"],
+			"rounds_err", snap.Counters["rounds.errors"],
+		)
+		os.Exit(0)
+	}()
 
 	ctx := context.Background()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			log.Fatalf("ppserver: accept: %v", err)
+			logger.Error("accept failed", "err", err.Error())
+			os.Exit(1)
 		}
 		go func(conn net.Conn) {
 			defer conn.Close()
-			var edge stream.Edge
-			if reg != nil {
-				edge = stream.NewInstrumentedTCPEdge(conn, reg, "tcp")
-			} else {
-				edge = stream.NewTCPEdge(conn)
-			}
-			fmt.Printf("ppserver: session from %s\n", conn.RemoteAddr())
+			edge := stream.NewInstrumentedTCPEdge(conn, reg, "tcp")
+			remote := conn.RemoteAddr().String()
+			slog := logger.With("remote", remote)
+			slog.Info("session opened")
 			cfg := protocol.SessionConfig{
 				Factor:     *factor,
 				MaxWorkers: *maxWorkers,
 				Window:     *window,
 				IdleTTL:    *idleTTL,
 				Registry:   reg,
+				Log:        slog,
 			}
 			if err := protocol.ServeSessionConfig(ctx, edge, edge, netModel, cfg); err != nil {
-				log.Printf("ppserver: session %s: %v", conn.RemoteAddr(), err)
+				slog.Warn("session failed", "err", err.Error())
 				return
 			}
-			fmt.Printf("ppserver: session %s closed\n", conn.RemoteAddr())
+			slog.Info("session closed")
 		}(conn)
 	}
 }

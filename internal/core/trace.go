@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"ppstream/internal/obs"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// This file adapts the in-process serving runtime's per-stage traces to
+// the cross-party obs.TraceTree model, so single-host deployments (both
+// roles in one engine) and split TCP deployments (protocol.Client)
+// report the same merged-trace shape to ppbench and the report tables.
+
+// TraceTreeOf converts a pipeline trace into a TraceTree. Stage
+// attribution follows the protocol's role split: "linear-N" stages run
+// at the model provider ("server"); "encrypt" and "nonlinear-N" run at
+// the data provider ("client"). Each stage contributes its queue wait
+// as a per-party "queue" segment and its busy time under the stage's
+// own name. There is no wire segment — the engine's edges are
+// in-process channels. Returns nil for a nil trace.
+func TraceTreeOf(t *stream.Trace) *obs.TraceTree {
+	if t == nil {
+		return nil
+	}
+	tree := &obs.TraceTree{ID: t.ID, Total: t.Total()}
+	for _, s := range t.Spans {
+		party, name, round := splitStage(s.Stage)
+		if s.Wait > 0 {
+			tree.Segments = append(tree.Segments, obs.Segment{Party: party, Name: "queue", Round: round, Dur: s.Wait})
+		}
+		tree.Segments = append(tree.Segments, obs.Segment{Party: party, Name: name, Round: round, Dur: s.Busy})
+	}
+	return tree
+}
+
+// splitStage maps a pipeline stage name to (party, segment name, round).
+func splitStage(stage string) (string, string, int) {
+	name, round := stage, -1
+	if i := strings.LastIndexByte(stage, '-'); i > 0 {
+		if n, err := strconv.Atoi(stage[i+1:]); err == nil {
+			name, round = stage[:i], n
+		}
+	}
+	if name == "linear" {
+		return "server", name, round
+	}
+	return "client", name, round
+}
+
+// SubmitTraced is Submit returning the request's merged TraceTree in
+// place of the raw pipeline trace. The tree's Total is the submitter-
+// observed latency (admission wait included), so its unattributed
+// remainder bounds the dispatcher overhead outside the pipeline stages.
+func (e *Engine) SubmitTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *obs.TraceTree, error) {
+	start := time.Now()
+	out, trace, err := e.Submit(ctx, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := TraceTreeOf(trace)
+	if tree != nil {
+		tree.Total = time.Since(start)
+	}
+	return out, tree, nil
+}

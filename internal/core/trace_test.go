@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ppstream/internal/stream"
+)
+
+func TestTraceTreeOf(t *testing.T) {
+	if TraceTreeOf(nil) != nil {
+		t.Error("nil trace should give nil tree")
+	}
+	tr := &stream.Trace{ID: "abcdef0123456789", Spans: []stream.Span{
+		{Stage: "encrypt", Wait: time.Millisecond, Busy: 2 * time.Millisecond},
+		{Stage: "linear-0", Wait: 3 * time.Millisecond, Busy: 4 * time.Millisecond},
+		{Stage: "nonlinear-0", Busy: 5 * time.Millisecond},
+	}}
+	tree := TraceTreeOf(tr)
+	if tree.ID != tr.ID {
+		t.Errorf("tree ID %q", tree.ID)
+	}
+	if tree.Total != tr.Total() {
+		t.Errorf("total %v, want %v", tree.Total, tr.Total())
+	}
+	if got := tree.SegmentTotal("client-queue"); got != time.Millisecond {
+		t.Errorf("client-queue %v", got)
+	}
+	if got := tree.SegmentTotal("client-encrypt"); got != 2*time.Millisecond {
+		t.Errorf("client-encrypt %v", got)
+	}
+	if got := tree.SegmentTotal("server-queue"); got != 3*time.Millisecond {
+		t.Errorf("server-queue %v", got)
+	}
+	if got := tree.SegmentTotal("server-linear"); got != 4*time.Millisecond {
+		t.Errorf("server-linear %v", got)
+	}
+	if got := tree.SegmentTotal("client-nonlinear"); got != 5*time.Millisecond {
+		t.Errorf("client-nonlinear %v", got)
+	}
+	// The zero-wait nonlinear span must not produce an empty queue segment.
+	var queues int
+	for _, s := range tree.Segments {
+		if s.Name == "queue" {
+			queues++
+		}
+	}
+	if queues != 2 {
+		t.Errorf("%d queue segments, want 2", queues)
+	}
+}
+
+// TestEngineSubmitTraced runs a real request through the serving runtime
+// and checks the merged tree attributes both roles and accounts for the
+// submitter-observed latency.
+func TestEngineSubmitTraced(t *testing.T) {
+	eng := serveEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	x := randInputs(1)[0]
+	out, tree, err := eng.SubmitTraced(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no result")
+	}
+	if tree == nil || tree.ID == "" {
+		t.Fatalf("no trace tree / ID: %+v", tree)
+	}
+	var haveClient, haveServer bool
+	for _, p := range tree.Parties() {
+		switch p {
+		case "client":
+			haveClient = true
+		case "server":
+			haveServer = true
+		}
+	}
+	if !haveClient || !haveServer {
+		t.Errorf("parties %v, want both client and server", tree.Parties())
+	}
+	if tree.Sum() > tree.Total {
+		t.Errorf("segment sum %v exceeds observed total %v", tree.Sum(), tree.Total)
+	}
+	if tree.SegmentTotal("server-linear") <= 0 {
+		t.Error("no server-linear time recorded")
+	}
+}

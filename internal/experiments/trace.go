@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	mathrand "math/rand"
+	"sync"
+	"time"
+
+	"ppstream/internal/obs"
+	"ppstream/internal/protocol"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// TraceBenchResult is the distributed-tracing benchmark's output: one
+// merged cross-party TraceTree per request over a real TCP session,
+// aggregated into the per-segment percentile breakdown, plus one sample
+// tree rendered span by span.
+type TraceBenchResult struct {
+	KeyBits     int
+	Requests    int
+	Concurrency int
+	Elapsed     time.Duration
+	Trees       []*obs.TraceTree
+	Rows        []obs.BreakdownRow
+	Sample      *obs.TraceTree
+}
+
+// TraceBench runs traced inferences over one multiplexed TCP session and
+// merges both parties' spans: the client's queue/encrypt/non-linear
+// time, the server's queue/kernel/permute time shipped back in the final
+// round frame, and the inferred per-round wire gap. The breakdown is the
+// per-party latency attribution the paper's per-stage tables motivate,
+// here measured on a live two-party deployment rather than in-process.
+func TraceBench(cfg Config) (*TraceBenchResult, error) {
+	cfg = cfg.withDefaults()
+	protocol.RegisterServiceWire()
+	concurrency := 4
+	if cfg.Quick {
+		concurrency = 2
+	}
+	n := cfg.Requests
+	if n < 2*concurrency {
+		n = 2 * concurrency
+	}
+
+	netw, err := serveNet()
+	if err != nil {
+		return nil, err
+	}
+	key, err := sharedKey(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	serverEdge, addr, err := stream.ListenEdge("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- protocol.ServeSessionConfig(ctx, serverEdge, serverEdge, netw, protocol.SessionConfig{
+			Factor:     serveFactor,
+			MaxWorkers: 2,
+			Window:     concurrency,
+		})
+	}()
+	clientEdge, err := stream.DialEdge(addr)
+	if err != nil {
+		return nil, err
+	}
+	client, err := protocol.NewClientOpts(ctx, clientEdge, clientEdge, netw, key, serveFactor,
+		protocol.ClientOptions{Workers: 1, Window: concurrency})
+	if err != nil {
+		return nil, err
+	}
+
+	r := mathrand.New(mathrand.NewSource(29))
+	inputs := make([]*tensor.Dense, n)
+	for i := range inputs {
+		x := tensor.Zeros(4)
+		for j := range x.Data() {
+			x.Data()[j] = r.NormFloat64()
+		}
+		inputs[i] = x
+	}
+
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		jobs  = make(chan int)
+		trees = make([]*obs.TraceTree, n)
+		ferr  error
+	)
+	begin := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				_, tree, ierr := client.InferTraced(ctx, inputs[i])
+				mu.Lock()
+				if ierr != nil && ferr == nil {
+					ferr = fmt.Errorf("experiments: traced request %d: %w", i, ierr)
+				}
+				trees[i] = tree
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if cerr := client.Close(); cerr != nil && ferr == nil {
+		ferr = cerr
+	}
+	if serr := <-serveErr; serr != nil && ferr == nil {
+		ferr = fmt.Errorf("experiments: server session: %w", serr)
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+
+	res := &TraceBenchResult{
+		KeyBits:     cfg.KeyBits,
+		Requests:    n,
+		Concurrency: concurrency,
+		Elapsed:     elapsed,
+		Trees:       trees,
+		Rows:        obs.Breakdown(trees),
+		Sample:      trees[0],
+	}
+	return res, nil
+}
+
+// Render formats the sample tree and the per-segment percentile table.
+func (r *TraceBenchResult) Render() string {
+	return fmt.Sprintf(
+		"Distributed trace: %d requests, %d concurrent, one TCP session (%d-bit key), %s total\n\n"+
+			"sample request:\n%s\n"+
+			"per-segment breakdown across %d requests (per-request totals):\n%s",
+		r.Requests, r.Concurrency, r.KeyBits, r.Elapsed.Round(time.Millisecond),
+		obs.RenderTree(r.Sample),
+		len(r.Trees), obs.RenderBreakdown(r.Rows))
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceBenchQuick runs the distributed-tracing benchmark end to end
+// over a loopback TCP session and checks the rendered report carries
+// both parties' segments and the percentile table.
+func TestTraceBenchQuick(t *testing.T) {
+	res, err := TraceBench(Config{KeyBits: 256, Requests: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trees) != res.Requests {
+		t.Fatalf("%d trees for %d requests", len(res.Trees), res.Requests)
+	}
+	ids := map[string]bool{}
+	for i, tree := range res.Trees {
+		if tree == nil {
+			t.Fatalf("request %d has no trace tree", i)
+		}
+		ids[tree.ID] = true
+		if tree.SegmentTotal("server-kernel") <= 0 {
+			t.Errorf("trace %s: no server kernel time crossed the wire", tree.ID)
+		}
+	}
+	if len(ids) != res.Requests {
+		t.Errorf("%d distinct trace IDs for %d requests", len(ids), res.Requests)
+	}
+	out := res.Render()
+	for _, want := range []string{"server-kernel", "server-permute", "client-nonlinear", "wire", "p95", "trace "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}

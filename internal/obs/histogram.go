@@ -125,7 +125,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // Quantile estimates the q-th quantile (0 < q ≤ 1) by linear
 // interpolation within the bucket containing it, clamped to the observed
-// min/max.
+// min/max. An empty histogram yields 0 for every q, as do NaN requests;
+// q outside (0, 1] is clamped into the range, so callers can never read
+// a bucket upper bound that no sample actually reached.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	counts := make([]uint64, len(h.buckets))
 	var total uint64
@@ -140,6 +142,16 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 }
 
 func (h *Histogram) quantile(counts []uint64, total uint64, min, max int64, q float64) time.Duration {
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q <= 0 {
+		// q→0⁺ is the distribution's lower edge.
+		return time.Duration(min)
+	}
 	target := q * float64(total)
 	var cum float64
 	for i, c := range counts {

@@ -7,14 +7,49 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves the registries' JSON snapshots at /metrics (and /) and
-// mounts the standard pprof handlers under /debug/pprof/, so a running
-// ppserver can be inspected with curl and `go tool pprof`.
+// HTTPOptions configures the exposition endpoint beyond the registries.
+type HTTPOptions struct {
+	// Ready, when non-nil, gates /readyz: the endpoint answers 200 only
+	// while Ready() is true (503 otherwise). /healthz is liveness and
+	// always answers 200. A nil Ready leaves /readyz always-ready.
+	Ready func() bool
+}
+
+// Handler serves the registries' snapshots at /metrics (and /) — JSON
+// by default, Prometheus text format under /metrics/prometheus or via
+// ?format=prometheus / an Accept header preferring text/plain — and
+// mounts /healthz, /readyz, and the standard pprof handlers under
+// /debug/pprof/, so a running ppserver can be inspected with curl,
+// a Prometheus scrape job, and `go tool pprof`.
 func Handler(regs ...*Registry) http.Handler {
+	return HandlerOpts(HTTPOptions{}, regs...)
+}
+
+// wantsPrometheus decides the exposition format for /metrics: an
+// explicit ?format= wins; otherwise an Accept header that asks for
+// text/plain or OpenMetrics (the Prometheus scraper's preference)
+// without mentioning JSON selects the text format.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus", "prom":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// HandlerOpts is Handler with explicit endpoint options.
+func HandlerOpts(opts HTTPOptions, regs ...*Registry) http.Handler {
 	mux := http.NewServeMux()
-	metrics := func(w http.ResponseWriter, req *http.Request) {
+	writeJSON := func(w http.ResponseWriter) {
 		snaps := make([]Snapshot, len(regs))
 		for i, r := range regs {
 			snaps[i] = r.Snapshot()
@@ -32,7 +67,33 @@ func Handler(regs ...*Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}
+	writeProm := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, regs...); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	metrics := func(w http.ResponseWriter, req *http.Request) {
+		if wantsPrometheus(req) {
+			writeProm(w)
+			return
+		}
+		writeJSON(w)
+	}
 	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, _ *http.Request) { writeProm(w) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -52,11 +113,16 @@ func Handler(regs ...*Registry) http.Handler {
 // and returns the bound address plus a shutdown function. The server
 // runs until shutdown is called.
 func Serve(addr string, regs ...*Registry) (string, func(context.Context) error, error) {
+	return ServeOpts(addr, HTTPOptions{}, regs...)
+}
+
+// ServeOpts is Serve with explicit endpoint options (readiness gating).
+func ServeOpts(addr string, opts HTTPOptions, regs ...*Registry) (string, func(context.Context) error, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(regs...)}
+	srv := &http.Server{Handler: HandlerOpts(opts, regs...)}
 	go srv.Serve(l)
 	return l.Addr().String(), srv.Shutdown, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -49,6 +50,64 @@ func TestHandlerServesSnapshotAndPprof(t *testing.T) {
 	pp.Body.Close()
 	if pp.StatusCode != http.StatusOK {
 		t.Errorf("GET /debug/pprof/: %d", pp.StatusCode)
+	}
+}
+
+func TestHandlerPrometheusAndHealth(t *testing.T) {
+	reg := NewRegistry("unit")
+	reg.Counter("requests").Add(5)
+	ready := false
+	srv := httptest.NewServer(HandlerOpts(HTTPOptions{Ready: func() bool { return ready }}, reg))
+	defer srv.Close()
+
+	get := func(path string, hdr map[string]string) (int, string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Dedicated Prometheus path and ?format= both serve text format.
+	for _, path := range []string{"/metrics/prometheus", "/metrics?format=prometheus"} {
+		code, body, ct := get(path, nil)
+		if code != http.StatusOK || !strings.Contains(body, `ppstream_requests{registry="unit"} 5`) {
+			t.Errorf("GET %s: %d\n%s", path, code, body)
+		}
+		if !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("GET %s content type %q", path, ct)
+		}
+	}
+	// A Prometheus scraper's Accept header selects text format on /metrics.
+	if _, body, _ := get("/metrics", map[string]string{
+		"Accept": "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5",
+	}); !strings.Contains(body, "ppstream_requests") {
+		t.Errorf("Accept negotiation did not yield Prometheus format:\n%s", body)
+	}
+	// No Accept header stays JSON (back-compat for curl and the cmd tools).
+	if _, body, ct := get("/metrics", nil); !strings.Contains(ct, "json") || !strings.Contains(body, `"counters"`) {
+		t.Errorf("default /metrics no longer JSON (ct %q):\n%s", ct, body)
+	}
+
+	if code, body, _ := get("/healthz", nil); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("GET /healthz: %d %q", code, body)
+	}
+	if code, _, _ := get("/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /readyz before ready: %d, want 503", code)
+	}
+	ready = true
+	if code, _, _ := get("/readyz", nil); code != http.StatusOK {
+		t.Errorf("GET /readyz after ready: %d, want 200", code)
 	}
 }
 

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("session open", "addr", "127.0.0.1:7100", "window", 8)
+	l.Error("boom", "err", "hello rejected")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2 (debug filtered)", len(lines))
+	}
+	if lines[0]["level"] != "info" || lines[0]["msg"] != "session open" || lines[0]["addr"] != "127.0.0.1:7100" {
+		t.Errorf("info line %v", lines[0])
+	}
+	if lines[0]["window"] != float64(8) {
+		t.Errorf("window field %v", lines[0]["window"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, lines[0]["ts"].(string)); err != nil {
+		t.Errorf("ts field: %v", err)
+	}
+	if lines[1]["level"] != "error" || lines[1]["err"] != "hello rejected" {
+		t.Errorf("error line %v", lines[1])
+	}
+}
+
+func TestLoggerWithTraceScoping(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewLogger(&buf, LevelDebug).With("component", "ppserver")
+	reqLog := root.WithTrace("4bf0aa11")
+	reqLog.Info("round served", "round", 2)
+	root.Info("no trace here")
+	lines := decodeLines(t, &buf)
+	if lines[0]["trace_id"] != "4bf0aa11" || lines[0]["component"] != "ppserver" {
+		t.Errorf("request-scoped line %v", lines[0])
+	}
+	if _, ok := lines[1]["trace_id"]; ok {
+		t.Errorf("parent logger leaked trace_id: %v", lines[1])
+	}
+}
+
+func TestLoggerSlowThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).SetSlowThreshold(100 * time.Millisecond)
+	if l.Slow("fast request", 10*time.Millisecond) {
+		t.Error("fast request logged as slow")
+	}
+	if !l.Slow("slow request", 250*time.Millisecond, "round", 1) {
+		t.Error("slow request not logged")
+	}
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("%d lines, want 1", len(lines))
+	}
+	if lines[0]["level"] != "warn" || lines[0]["slow"] != true || lines[0]["latency_ms"] != float64(250) {
+		t.Errorf("slow line %v", lines[0])
+	}
+	// Threshold unset: Slow never fires.
+	var buf2 bytes.Buffer
+	if NewLogger(&buf2, LevelInfo).Slow("x", time.Hour) {
+		t.Error("Slow fired without a threshold")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing")
+	l.Error("nothing")
+	if l.Slow("x", time.Hour) {
+		t.Error("nil logger reported slow")
+	}
+	if l.With("a", 1) != nil || l.WithTrace("x") != nil {
+		t.Error("nil logger derivation must stay nil")
+	}
+	l.SetSlowThreshold(time.Second) // must not panic
+}
+
+func TestLoggerMalformedPairs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("odd", "key-without-value")
+	l.Info("badkey", 42, "v")
+	lines := decodeLines(t, &buf)
+	if lines[0]["!dangling"] != "key-without-value" {
+		t.Errorf("dangling key line %v", lines[0])
+	}
+	if lines[1]["!badkey0"] != "42" {
+		t.Errorf("bad key line %v", lines[1])
+	}
+}
+
+// TestLoggerConcurrent hammers one writer from many goroutines; run
+// with -race. Every emitted line must still be valid JSON.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.WithTrace(NewTraceID()).Info("msg", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if lines := decodeLines(t, &buf); len(lines) != 400 {
+		t.Errorf("%d lines, want 400", len(lines))
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -59,6 +60,65 @@ func TestHistogramEmptyAndClamped(t *testing.T) {
 	h2.Observe(10 * time.Minute)
 	if s := h2.Snapshot(); s.Max != 10*time.Minute || s.P99 != 10*time.Minute {
 		t.Errorf("overflow observation mishandled: %+v", s)
+	}
+}
+
+// TestHistogramDegenerateQuantiles covers the empty and single-bucket
+// report paths: no sample may ever surface as a bucket upper bound.
+func TestHistogramDegenerateQuantiles(t *testing.T) {
+	// Empty histogram: every quantile is 0, not a bucket bound.
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single sample: all percentiles collapse to the sample itself,
+	// even though its bucket's upper bound is 4ms.
+	h = NewHistogram()
+	const v = 2500 * time.Microsecond
+	h.Observe(v)
+	s := h.Snapshot()
+	if s.P50 != v || s.P95 != v || s.P99 != v {
+		t.Errorf("single-sample percentiles %v/%v/%v, want all %v", s.P50, s.P95, s.P99, v)
+	}
+	if got := h.Quantile(1); got != v {
+		t.Errorf("single-sample Quantile(1) = %v, want %v", got, v)
+	}
+
+	// Single-bucket pile-up of identical values: the min/max clamp keeps
+	// interpolation at the observed value, not the bucket bound.
+	h = NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	s = h.Snapshot()
+	if s.P50 != 3*time.Millisecond || s.P99 != 3*time.Millisecond {
+		t.Errorf("single-bucket percentiles p50=%v p99=%v, want 3ms", s.P50, s.P99)
+	}
+}
+
+// TestHistogramQuantileEdgeInputs checks that out-of-range and NaN
+// quantile requests stay finite and ordered.
+func TestHistogramQuantileEdgeInputs(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(9 * time.Millisecond)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := h.Quantile(-0.5); got != time.Millisecond {
+		t.Errorf("Quantile(-0.5) = %v, want min 1ms", got)
+	}
+	if got := h.Quantile(2); got < time.Millisecond || got > 9*time.Millisecond {
+		t.Errorf("Quantile(2) = %v, want within [min,max]", got)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.9, 1} {
+		got := h.Quantile(q)
+		if got < time.Millisecond || got > 9*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v escaped [min,max]", q, got)
+		}
 	}
 }
 

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) alongside the JSON
+// snapshot, so a standard Prometheus scrape job can pull the same
+// registries cmd tools read as JSON. Metric names are prefixed with
+// "ppstream_" and sanitized (dots → underscores); the owning registry's
+// name rides in a "registry" label so several registries can share one
+// endpoint. Durations are exported in seconds, Prometheus convention.
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name component.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value per the exposition format.
+func promEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders every registry in Prometheus text format.
+// Counters and gauges map directly; each latency histogram becomes a
+// Prometheus histogram with cumulative le-buckets in seconds plus _sum
+// and _count series.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	for _, r := range regs {
+		if err := r.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) writePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	label := fmt.Sprintf(`{registry=%q}`, promEscapeLabel(r.name))
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "ppstream_" + promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", m, m, label, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.gaugeFuncs {
+		if _, shadowed := r.gauges[name]; !shadowed {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var v int64
+		if g, ok := r.gauges[name]; ok {
+			v = g.Value()
+		} else {
+			v = r.gaugeFuncs[name]()
+		}
+		m := "ppstream_" + promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", m, m, label, v); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := r.hists[name].writePrometheus(w, "ppstream_"+promName(name)+"_seconds", r.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheus renders the histogram's cumulative buckets. Bounds
+// are converted from nanoseconds to seconds; the overflow bucket maps
+// to le="+Inf".
+func (h *Histogram) writePrometheus(w io.Writer, metric, registry string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+		return err
+	}
+	reg := promEscapeLabel(registry)
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%g", float64(h.bounds[i])/1e9)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{registry=%q,le=%q} %d\n", metric, reg, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum{registry=%q} %g\n%s_count{registry=%q} %d\n",
+		metric, reg, float64(h.sum.Load())/1e9, metric, reg, h.count.Load())
+	return err
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry("ppserver")
+	reg.Counter("rounds.served").Add(7)
+	reg.Gauge("sessions.active").Set(2)
+	reg.GaugeFunc("queue.depth", func() int64 { return 5 })
+	h := reg.Histogram("round.linear")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ppstream_rounds_served counter",
+		`ppstream_rounds_served{registry="ppserver"} 7`,
+		"# TYPE ppstream_sessions_active gauge",
+		`ppstream_sessions_active{registry="ppserver"} 2`,
+		`ppstream_queue_depth{registry="ppserver"} 5`,
+		"# TYPE ppstream_round_linear_seconds histogram",
+		`ppstream_round_linear_seconds_count{registry="ppserver"} 2`,
+		`le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// _sum is in seconds: 8ms total.
+	if !strings.Contains(out, "_sum{registry=\"ppserver\"} 0.008") {
+		t.Errorf("histogram sum not in seconds:\n%s", out)
+	}
+	// Buckets must be cumulative and end at the total count.
+	if strings.Count(out, "ppstream_round_linear_seconds_bucket") != 37 {
+		t.Errorf("want 37 buckets (36 bounds + +Inf):\n%s", out)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"round.0.linear":  "round_0_linear",
+		"tcp.bytes_sent":  "tcp_bytes_sent",
+		"weird-name/x":    "weird_name_x",
+		"0starts.numeric": "_0starts_numeric",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promEscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry("rt")
+	RegisterRuntimeMetrics(reg)
+	s := reg.Snapshot()
+	if s.Gauges["runtime.goroutines"] < 1 {
+		t.Errorf("goroutines gauge %d", s.Gauges["runtime.goroutines"])
+	}
+	if s.Gauges["runtime.heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap gauge %d", s.Gauges["runtime.heap_alloc_bytes"])
+	}
+	if _, ok := s.Gauges["runtime.gc_pause_total_ns"]; !ok {
+		t.Error("gc pause gauge missing")
+	}
+	RegisterRuntimeMetrics(nil) // must not panic
+}

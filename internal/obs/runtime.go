@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats between snapshot evaluations:
+// the several heap/GC gauges registered below would otherwise each pay
+// the stop-the-world read on every scrape.
+type memSampler struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+// memSampleTTL bounds how stale a cached MemStats read may be.
+const memSampleTTL = time.Second
+
+func (s *memSampler) read(f func(*runtime.MemStats) int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > memSampleTTL {
+		runtime.ReadMemStats(&s.stats)
+		s.at = now
+	}
+	return f(&s.stats)
+}
+
+// RegisterRuntimeMetrics publishes Go runtime health gauges into reg,
+// evaluated lazily at snapshot/scrape time:
+//
+//	runtime.goroutines          live goroutine count
+//	runtime.heap_alloc_bytes    bytes of allocated heap objects
+//	runtime.heap_objects        live heap object count
+//	runtime.gc_cycles           completed GC cycles
+//	runtime.gc_pause_total_ns   cumulative stop-the-world pause time
+//	runtime.gc_pause_last_ns    most recent stop-the-world pause
+//
+// MemStats reads are cached for a second so frequent scrapes stay cheap.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := &memSampler{}
+	reg.GaugeFunc("runtime.goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("runtime.heap_alloc_bytes", func() int64 {
+		return s.read(func(m *runtime.MemStats) int64 { return int64(m.HeapAlloc) })
+	})
+	reg.GaugeFunc("runtime.heap_objects", func() int64 {
+		return s.read(func(m *runtime.MemStats) int64 { return int64(m.HeapObjects) })
+	})
+	reg.GaugeFunc("runtime.gc_cycles", func() int64 {
+		return s.read(func(m *runtime.MemStats) int64 { return int64(m.NumGC) })
+	})
+	reg.GaugeFunc("runtime.gc_pause_total_ns", func() int64 {
+		return s.read(func(m *runtime.MemStats) int64 { return int64(m.PauseTotalNs) })
+	})
+	reg.GaugeFunc("runtime.gc_pause_last_ns", func() int64 {
+		return s.read(func(m *runtime.MemStats) int64 {
+			if m.NumGC == 0 {
+				return 0
+			}
+			return int64(m.PauseNs[(m.NumGC+255)%256])
+		})
+	})
+}

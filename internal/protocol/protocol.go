@@ -19,6 +19,7 @@ package protocol
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ppstream/internal/nn"
 	"ppstream/internal/obfuscate"
@@ -348,48 +349,68 @@ func (mp *ModelProvider) Forget(req uint64) {
 	mp.mu.Unlock()
 }
 
+// LinearTiming splits one linear round's server-side work into the
+// homomorphic kernel proper and the obfuscation bookkeeping around it
+// (inverse permutation on entry plus permutation on exit), feeding the
+// "server-kernel" / "server-permute" trace segments.
+type LinearTiming struct {
+	Kernel  time.Duration
+	Permute time.Duration
+}
+
 // ProcessLinear executes round r's steps at the model provider: inverse
 // obfuscation (rounds > 0), the homomorphic linear operations, and
 // obfuscation (except the last round) — steps 1.3–1.4, 2.5–2.7, and
 // 3.2–3.3 of Figure 3.
 func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) {
+	out, _, err := mp.ProcessLinearTimed(r, env)
+	return out, err
+}
+
+// ProcessLinearTimed is ProcessLinear reporting how the round's wall
+// time divided between the homomorphic kernel and permutation work.
+func (mp *ModelProvider) ProcessLinearTimed(r int, env *Envelope) (*Envelope, LinearTiming, error) {
+	var tm LinearTiming
 	if r < 0 || r >= len(mp.stages) {
-		return nil, fmt.Errorf("protocol: no linear stage %d", r)
+		return nil, tm, fmt.Errorf("protocol: no linear stage %d", r)
 	}
 	st := mp.stages[r]
 	ct := env.CT
 	if ct == nil {
-		return nil, fmt.Errorf("protocol: linear stage %d received no ciphertext", r)
+		return nil, tm, fmt.Errorf("protocol: linear stage %d received no ciphertext", r)
 	}
 	if r == 0 {
 		if env.Obfuscated {
-			return nil, fmt.Errorf("protocol: first round input must not be obfuscated")
+			return nil, tm, fmt.Errorf("protocol: first round input must not be obfuscated")
 		}
 		if err := mp.admit(); err != nil {
-			return nil, err
+			return nil, tm, err
 		}
 	} else {
 		if !env.Obfuscated {
-			return nil, fmt.Errorf("protocol: round %d input must be obfuscated", r)
+			return nil, tm, fmt.Errorf("protocol: round %d input must be obfuscated", r)
 		}
+		permStart := time.Now()
 		perm, err := mp.rounds(env.Req).Pop()
 		if err != nil {
-			return nil, err
+			return nil, tm, err
 		}
 		restored, err := obfuscate.InvertTensor(perm, ct, st.inShape)
 		if err != nil {
-			return nil, err
+			return nil, tm, err
 		}
+		tm.Permute += time.Since(permStart)
 		ct = restored
 	}
 	if ct.Size() != st.inShape.Size() {
-		return nil, fmt.Errorf("protocol: linear stage %d input size %d, want %v", r, ct.Size(), st.inShape)
+		return nil, tm, fmt.Errorf("protocol: linear stage %d input size %d, want %v", r, ct.Size(), st.inShape)
 	}
 	shaped, err := ct.Reshape(st.inShape...)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 
+	kernelStart := time.Now()
 	var out *paillier.CipherTensor
 	var outExp int
 	if st.usePartitionExec {
@@ -398,8 +419,9 @@ func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) 
 		out, outExp, err = qnn.ApplyStage(mp.eval, st.ops, shaped, env.Exp, st.threads)
 	}
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	tm.Kernel = time.Since(kernelStart)
 
 	last := r == len(mp.stages)-1
 	next := &Envelope{Req: env.Req, Exp: outExp}
@@ -407,19 +429,21 @@ func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) 
 		// Step 3.4: send without obfuscation so SoftMax can run.
 		next.CT = out
 		next.Obfuscated = false
-		return next, nil
+		return next, tm, nil
 	}
+	permStart := time.Now()
 	perm, err := mp.rounds(env.Req).Next(out.Size())
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	obf, err := obfuscate.ApplyTensor(perm, out)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	tm.Permute += time.Since(permStart)
 	next.CT = obf
 	next.Obfuscated = true
-	return next, nil
+	return next, tm, nil
 }
 
 // nonLinearStage is one data-provider stage.

@@ -58,10 +58,15 @@ func helloPublicKey(hello *Hello) (*paillier.PublicKey, error) {
 }
 
 // roundFrame tags a wire envelope with its round index for the service
-// loop.
+// loop. TC carries the request's distributed trace context; Spans carries
+// the server's recorded spans back to the client on the final round's
+// reply. Both fields are gob-compatible extensions: frames from peers
+// predating them decode with the fields nil, and old peers skip them.
 type roundFrame struct {
 	Round int
 	Env   *WireEnvelope
+	TC    *TraceContext
+	Spans []WireSpan
 }
 
 // RegisterServiceWire registers the session frame types with gob.
@@ -88,6 +93,10 @@ type SessionConfig struct {
 	IdleTTL time.Duration
 	// Registry, when non-nil, receives session metrics.
 	Registry *obs.Registry
+	// Log, when non-nil, receives structured session events — rejected
+	// hellos, per-round failures, and rounds exceeding the logger's slow
+	// threshold — each correlated by the request's trace ID.
+	Log *obs.Logger
 }
 
 // DefaultSessionWindow is the concurrent-frame bound a session uses when
@@ -117,10 +126,13 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 }
 
 // reqState is the session's per-request bookkeeping: the last round the
-// request completed and when it was last seen, feeding idle eviction.
+// request completed, when it was last seen (feeding idle eviction), and
+// the server-side trace spans accumulated so far (shipped to the client
+// with the final round's reply).
 type reqState struct {
 	lastRound int
 	lastSeen  time.Time
+	spans     []obs.Segment
 }
 
 // sessionReqs tracks live requests under one session.
@@ -139,6 +151,27 @@ func (s *sessionReqs) touch(req uint64, round int) {
 	st.lastRound = round
 	st.lastSeen = time.Now()
 	s.mu.Unlock()
+}
+
+// addSpans appends server-side trace segments to a live request. The
+// client keeps at most one frame of a request in flight, so per-request
+// appends never race with themselves.
+func (s *sessionReqs) addSpans(req uint64, segs ...obs.Segment) {
+	s.mu.Lock()
+	if st := s.live[req]; st != nil {
+		st.spans = append(st.spans, segs...)
+	}
+	s.mu.Unlock()
+}
+
+// takeSpans returns the request's accumulated spans.
+func (s *sessionReqs) takeSpans(req uint64) []obs.Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.live[req]; st != nil {
+		return st.spans
+	}
+	return nil
 }
 
 func (s *sessionReqs) drop(req uint64) {
@@ -185,7 +218,7 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		ttl = DefaultIdleTTL
 	}
 	var roundsServed, roundErrs *obs.Counter
-	var roundTime *obs.Histogram
+	var roundTime, kernelTime, permuteTime *obs.Histogram
 	if reg != nil {
 		reg.Counter("sessions.total").Inc()
 		active := reg.Gauge("sessions.active")
@@ -194,6 +227,8 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		roundsServed = reg.Counter("rounds.served")
 		roundErrs = reg.Counter("rounds.errors")
 		roundTime = reg.Histogram("round.linear")
+		kernelTime = reg.Histogram("round.kernel")
+		permuteTime = reg.Histogram("round.permute")
 	}
 	first, err := in.Recv(ctx)
 	if err != nil {
@@ -208,6 +243,7 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 	}
 	pk, err := helloPublicKey(hello)
 	if err != nil {
+		cfg.Log.Warn("session hello rejected", "err", err.Error())
 		// Reject the session but tell the client why: an error frame
 		// outside any request is session-fatal on the client side.
 		if out != nil {
@@ -291,7 +327,13 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		defer fatalMu.Unlock()
 		return fatal
 	}
-	handle := func(msg *stream.Message, frame *roundFrame) {
+	handle := func(msg *stream.Message, frame *roundFrame, arrived time.Time) {
+		start := time.Now()
+		queueWait := start.Sub(arrived)
+		slog := cfg.Log
+		if frame.TC.valid() {
+			slog = slog.WithTrace(frame.TC.ID)
+		}
 		env, err := FromWire(frame.Env, pk)
 		if err != nil {
 			// Malformed client frame: reply with an error message but
@@ -299,23 +341,26 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			if roundErrs != nil {
 				roundErrs.Inc()
 			}
+			slog.Warn("malformed round frame", "round", frame.Round, "err", err.Error())
 			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
 				recordFatal(sendErr)
 			}
 			return
 		}
 		reqs.touch(env.Req, frame.Round)
-		start := time.Now()
-		result, err := mp.ProcessLinear(frame.Round, env)
+		result, timing, err := mp.ProcessLinearTimed(frame.Round, env)
+		elapsed := time.Since(start)
 		if reg != nil {
-			elapsed := time.Since(start)
 			roundTime.Observe(elapsed)
+			kernelTime.Observe(timing.Kernel)
+			permuteTime.Observe(timing.Permute)
 			reg.Histogram(fmt.Sprintf("round.%d.linear", frame.Round)).Observe(elapsed)
 		}
 		if err != nil {
 			if roundErrs != nil {
 				roundErrs.Inc()
 			}
+			slog.Warn("round failed", "req", env.Req, "round", frame.Round, "err", err.Error())
 			// The request is dead on this side: release its permutation
 			// state now rather than waiting for the TTL.
 			reqs.drop(env.Req)
@@ -325,9 +370,22 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			}
 			return
 		}
+		slog.Slow("slow linear round", elapsed,
+			"req", env.Req, "round", frame.Round,
+			"kernel_ms", float64(timing.Kernel)/float64(time.Millisecond),
+			"permute_ms", float64(timing.Permute)/float64(time.Millisecond))
+		// Record this round's server spans under the request; on the last
+		// round they travel back to the client for the merged trace tree.
+		reqs.addSpans(env.Req,
+			obs.Segment{Party: "server", Name: "queue", Round: frame.Round, Dur: queueWait},
+			obs.Segment{Party: "server", Name: "kernel", Round: frame.Round, Dur: timing.Kernel},
+			obs.Segment{Party: "server", Name: "permute", Round: frame.Round, Dur: timing.Permute},
+		)
+		reply := &roundFrame{Round: frame.Round, Env: nil, TC: frame.TC}
 		if frame.Round == lastRound {
 			// The request's last linear round: its obfuscation state is
 			// fully consumed; drop the entry instead of leaking it.
+			reply.Spans = toWireSpans(reqs.takeSpans(env.Req))
 			reqs.drop(env.Req)
 			mp.Forget(env.Req)
 			if reg != nil {
@@ -337,12 +395,12 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		if roundsServed != nil {
 			roundsServed.Inc()
 		}
-		reply, err := ToWire(result)
+		reply.Env, err = ToWire(result)
 		if err != nil {
 			recordFatal(err)
 			return
 		}
-		if err := out.Send(ctx, &stream.Message{Seq: msg.Seq, Payload: &roundFrame{Round: frame.Round, Env: reply}}); err != nil {
+		if err := out.Send(ctx, &stream.Message{Seq: msg.Seq, Payload: reply}); err != nil {
 			recordFatal(err)
 		}
 	}
@@ -360,6 +418,7 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			loopErr = fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
 			break
 		}
+		arrived := time.Now()
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
@@ -372,7 +431,7 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			handle(msg, frame)
+			handle(msg, frame, arrived)
 		}()
 	}
 	wg.Wait()
@@ -525,20 +584,36 @@ func (c *Client) sessionErr() error {
 // frames. A server-side per-request failure fails only that call; the
 // session stays alive for the others.
 func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, error) {
+	res, _, err := c.InferTraced(ctx, x)
+	return res, err
+}
+
+// InferTraced is Infer returning the request's merged cross-party trace:
+// the client's own spans (window queueing, input encryption, per-round
+// non-linear evaluation), the server's spans shipped back in the final
+// round frame, and per-round "wire" segments inferred as the client
+// round-trip minus the server's busy time — durations only, so no clock
+// synchronization between the parties is needed. The tree is nil when
+// the inference fails, and degrades to client+wire spans against a
+// server predating trace propagation.
+func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *obs.TraceTree, error) {
+	begin := time.Now()
 	select {
 	case c.window <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 	defer func() { <-c.window }()
+	queueWait := time.Since(begin)
 
 	req := c.nextID.Add(1)
+	tc := &TraceContext{Ver: TraceV1, ID: obs.NewTraceID()}
 	ch := make(chan *stream.Message, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
 	c.pending[req] = ch
 	c.mu.Unlock()
@@ -548,49 +623,94 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, err
 		c.mu.Unlock()
 	}()
 
+	encStart := time.Now()
 	env, err := c.dp.Encrypt(req, x)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	encDur := time.Since(encStart)
+
+	roundtrips := make([]time.Duration, c.rounds)
+	nonlinear := make([]time.Duration, c.rounds)
+	var serverSegs []obs.Segment
 	for round := 0; round < c.rounds; round++ {
+		rtStart := time.Now()
 		w, err := ToWire(env)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w}}); err != nil {
-			return nil, err
+		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w, TC: tc}}); err != nil {
+			return nil, nil, err
 		}
 		var msg *stream.Message
 		select {
 		case m, ok := <-ch:
 			if !ok {
-				return nil, c.sessionErr()
+				return nil, nil, c.sessionErr()
 			}
 			msg = m
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 		if msg.Err != "" {
-			return nil, fmt.Errorf("protocol: server rejected round %d: %s", round, msg.Err)
+			return nil, nil, fmt.Errorf("protocol: server rejected round %d: %s", round, msg.Err)
 		}
 		frame, ok := msg.Payload.(*roundFrame)
 		if !ok {
-			return nil, fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
+			return nil, nil, fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
 		}
 		env, err = FromWire(frame.Env, c.pk)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		roundtrips[round] = time.Since(rtStart)
+		if len(frame.Spans) > 0 {
+			serverSegs = append(serverSegs, fromWireSpans(frame.Spans)...)
 		}
 		env.Req = req
+		nlStart := time.Now()
 		env, err = c.dp.ProcessNonLinear(round, env)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		nonlinear[round] = time.Since(nlStart)
 	}
 	if env.Result == nil {
-		return nil, errors.New("protocol: session ended without a result")
+		return nil, nil, errors.New("protocol: session ended without a result")
 	}
-	return env.Result, nil
+	tree := mergeTrace(tc.ID, time.Since(begin), queueWait, encDur, roundtrips, nonlinear, serverSegs)
+	return env.Result, tree, nil
+}
+
+// mergeTrace builds the single cross-party TraceTree for one request:
+// client spans in protocol order, the server's shipped spans slotted into
+// their rounds, and a per-round "wire" segment inferred as the client's
+// round-trip minus the server's busy time (clamped at zero if the
+// server over-reports). Round -1 marks request-scoped client segments.
+func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, nonlinear []time.Duration, serverSegs []obs.Segment) *obs.TraceTree {
+	tree := &obs.TraceTree{ID: id, Total: total}
+	tree.Segments = append(tree.Segments,
+		obs.Segment{Party: "client", Name: "queue", Round: -1, Dur: queueWait},
+		obs.Segment{Party: "client", Name: "encrypt", Round: -1, Dur: encDur},
+	)
+	serverByRound := map[int]time.Duration{}
+	for _, s := range serverSegs {
+		serverByRound[s.Round] += s.Dur
+	}
+	for round := range roundtrips {
+		wire := roundtrips[round] - serverByRound[round]
+		if wire < 0 {
+			wire = 0
+		}
+		tree.Segments = append(tree.Segments, obs.Segment{Party: "wire", Name: "wire", Round: round, Dur: wire})
+		for _, s := range serverSegs {
+			if s.Round == round {
+				tree.Segments = append(tree.Segments, s)
+			}
+		}
+		tree.Segments = append(tree.Segments, obs.Segment{Party: "client", Name: "nonlinear", Round: round, Dur: nonlinear[round]})
+	}
+	return tree
 }
 
 // Close ends the session.

@@ -4,11 +4,71 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"time"
 
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
 	"ppstream/internal/stream"
 	"ppstream/internal/tensor"
 )
+
+// TraceV1 is the current trace-context wire version. A receiver honours
+// only versions it knows; unknown (future) versions are ignored rather
+// than rejected, and frames without a TraceContext at all — older peers
+// — keep working, so tracing never breaks interoperability.
+const TraceV1 = 1
+
+// TraceContext is the distributed-tracing header carried by every round
+// frame: the request's trace ID, assigned where the request enters the
+// system (protocol.Client.Infer or stream.Pipeline.Submit), under which
+// both parties record their spans.
+type TraceContext struct {
+	Ver int
+	ID  string
+}
+
+// valid reports whether a received trace context should be honoured.
+func (tc *TraceContext) valid() bool {
+	return tc != nil && tc.Ver == TraceV1 && tc.ID != ""
+}
+
+// WireSpan is the gob form of one server-side trace segment, shipped
+// back to the client in the final round frame so it can merge both
+// parties' spans into one obs.TraceTree.
+type WireSpan struct {
+	Party string
+	Name  string
+	Round int
+	Nanos int64
+}
+
+// toWireSpans converts trace segments for the result frame.
+func toWireSpans(segs []obs.Segment) []WireSpan {
+	if len(segs) == 0 {
+		return nil
+	}
+	out := make([]WireSpan, len(segs))
+	for i, s := range segs {
+		out[i] = WireSpan{Party: s.Party, Name: s.Name, Round: s.Round, Nanos: s.Dur.Nanoseconds()}
+	}
+	return out
+}
+
+// fromWireSpans converts received spans back into trace segments,
+// dropping negative durations a hostile peer might announce.
+func fromWireSpans(spans []WireSpan) []obs.Segment {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]obs.Segment, 0, len(spans))
+	for _, s := range spans {
+		if s.Nanos < 0 {
+			continue
+		}
+		out = append(out, obs.Segment{Party: s.Party, Name: s.Name, Round: s.Round, Dur: time.Duration(s.Nanos)})
+	}
+	return out
+}
 
 // WireEnvelope is the gob-encodable form of Envelope for TCP edges
 // between the model and data providers. Only ciphertexts (and, for the

@@ -80,13 +80,18 @@ func (e *channelEdge) Depth() (int, int) { return len(e.ch), cap(e.ch) }
 
 // wireFrame is the gob envelope for TCP edges. Close frames carry no
 // payload. The trace rides along so distributed pipelines keep the
-// per-stage breakdown.
+// per-stage breakdown, and failure metadata (FailedStage/FailedPayload)
+// survives the hop so a downstream submitter can diagnose errors raised
+// on the remote side. New fields are gob-compatible in both directions:
+// older peers ignore them and leave them zero.
 type wireFrame struct {
-	Seq     uint64
-	Err     string
-	Close   bool
-	Payload any
-	Trace   *Trace
+	Seq           uint64
+	Err           string
+	Close         bool
+	Payload       any
+	Trace         *Trace
+	FailedStage   string
+	FailedPayload any
 }
 
 // tcpEdge carries messages over a TCP connection using gob encoding.
@@ -241,7 +246,10 @@ func (e *tcpEdge) Send(ctx context.Context, m *Message) error {
 	}
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
-	frame := wireFrame{Seq: m.Seq, Err: m.Err, Payload: m.Payload, Trace: m.Trace}
+	frame := wireFrame{
+		Seq: m.Seq, Err: m.Err, Payload: m.Payload, Trace: m.Trace,
+		FailedStage: m.FailedStage, FailedPayload: m.FailedPayload,
+	}
 	if err := e.enc.Encode(&frame); err != nil {
 		return fmt.Errorf("stream: tcp send: %w", err)
 	}
@@ -265,7 +273,10 @@ func (e *tcpEdge) Recv(ctx context.Context) (*Message, error) {
 	if e.framesRecv != nil {
 		e.framesRecv.Inc()
 	}
-	return &Message{Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload, Trace: frame.Trace}, nil
+	return &Message{
+		Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload, Trace: frame.Trace,
+		FailedStage: frame.FailedStage, FailedPayload: frame.FailedPayload,
+	}, nil
 }
 
 func (e *tcpEdge) CloseSend() error {

@@ -3,8 +3,11 @@ package stream
 import (
 	"context"
 	"errors"
+	"net"
 	"testing"
 	"time"
+
+	"ppstream/internal/obs"
 )
 
 func TestChannelEdgeBackpressure(t *testing.T) {
@@ -53,6 +56,113 @@ func TestRecvCancelled(t *testing.T) {
 		// path must observe cancellation, so a nil error is acceptable
 		// here when the buffer has room.
 		_ = err
+	}
+}
+
+// tcpEdgePair builds an instrumented sender and receiver over one real
+// TCP connection, both publishing to reg under distinct prefixes.
+func tcpEdgePair(t *testing.T, reg *obs.Registry) (send, recv Edge) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, aerr := l.Accept()
+		l.Close()
+		if aerr != nil {
+			close(accepted)
+			return
+		}
+		accepted <- conn
+	}()
+	dialConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvConn, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { dialConn.Close(); srvConn.Close() })
+	return NewInstrumentedTCPEdge(dialConn, reg, "client"),
+		NewInstrumentedTCPEdge(srvConn, reg, "server")
+}
+
+// TestTCPEdgeCountersAndFailureMetadata drives a real TCP edge and
+// checks (a) byte/frame counters on both ends, and (b) that a failed
+// message's FailedStage/FailedPayload and trace ID survive the hop —
+// the submitter on the far side needs them to diagnose remote errors.
+func TestTCPEdgeCountersAndFailureMetadata(t *testing.T) {
+	RegisterWireType(&wirePayload{})
+	reg := obs.NewRegistry("edge")
+	send, recv := tcpEdgePair(t, reg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	msgs := []*Message{
+		{Seq: 1, Payload: &wirePayload{Value: 7, Note: "ok"}, Trace: &Trace{ID: "feedc0de00000001"}},
+		{
+			Seq:           2,
+			Err:           "stage linear-0: boom",
+			FailedStage:   "linear-0",
+			FailedPayload: &wirePayload{Value: 9, Note: "poison"},
+			Trace:         &Trace{ID: "feedc0de00000002"},
+		},
+	}
+	go func() {
+		for _, m := range msgs {
+			send.Send(ctx, m)
+		}
+		send.CloseSend()
+	}()
+
+	got1, err := recv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Seq != 1 || got1.Trace == nil || got1.Trace.ID != "feedc0de00000001" {
+		t.Errorf("healthy frame lost its trace ID: %+v", got1)
+	}
+	got2, err := recv.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Err != "stage linear-0: boom" {
+		t.Errorf("err %q", got2.Err)
+	}
+	if got2.FailedStage != "linear-0" {
+		t.Errorf("FailedStage %q did not survive the TCP hop", got2.FailedStage)
+	}
+	fp, ok := got2.FailedPayload.(*wirePayload)
+	if !ok || fp.Value != 9 || fp.Note != "poison" {
+		t.Errorf("FailedPayload did not survive the TCP hop: %#v", got2.FailedPayload)
+	}
+	if got2.Trace == nil || got2.Trace.ID != "feedc0de00000002" {
+		t.Errorf("failed frame lost its trace ID: %+v", got2.Trace)
+	}
+	if _, err := recv.Recv(ctx); !errors.Is(err, ErrEdgeClosed) {
+		t.Fatalf("after close: %v", err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["client.frames_sent"]; got != uint64(len(msgs)) {
+		t.Errorf("client.frames_sent %d, want %d", got, len(msgs))
+	}
+	if got := s.Counters["server.frames_recv"]; got != uint64(len(msgs)) {
+		t.Errorf("server.frames_recv %d, want %d", got, len(msgs))
+	}
+	if s.Counters["client.bytes_sent"] == 0 {
+		t.Error("client.bytes_sent is zero")
+	}
+	// The close frame is bytes but not a message frame.
+	if s.Counters["server.bytes_recv"] < s.Counters["client.bytes_sent"]/2 {
+		t.Errorf("server.bytes_recv %d implausibly low vs client.bytes_sent %d",
+			s.Counters["server.bytes_recv"], s.Counters["client.bytes_sent"])
+	}
+	if s.Counters["server.frames_sent"] != 0 || s.Counters["client.frames_recv"] != 0 {
+		t.Error("reverse-direction frame counters moved on a one-way edge")
 	}
 }
 

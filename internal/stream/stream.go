@@ -60,6 +60,10 @@ type Span struct {
 // Trace is the per-request record of stage spans, carried along the
 // message (including across TCP edges) and returned with the result.
 type Trace struct {
+	// ID is the request's distributed-tracing identifier, assigned at
+	// Submit and propagated in every wire frame so spans recorded by
+	// different parties can be correlated and merged (see obs.TraceTree).
+	ID    string
 	Spans []Span
 }
 
@@ -347,9 +351,9 @@ func (p *Pipeline) Submit(ctx context.Context, payload any) (uint64, error) {
 func (p *Pipeline) Reserve() uint64 { return p.seq.Add(1) - 1 }
 
 // SubmitReserved enqueues a payload under a previously Reserved sequence
-// number.
+// number. The attached Trace carries a fresh distributed-tracing ID.
 func (p *Pipeline) SubmitReserved(ctx context.Context, seq uint64, payload any) error {
-	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now(), Trace: &Trace{}}
+	m := &Message{Seq: seq, Payload: payload, Enqueued: time.Now(), Trace: &Trace{ID: obs.NewTraceID()}}
 	return p.first.Send(ctx, m)
 }
 
