@@ -1,0 +1,122 @@
+// Command pplint runs PP-Stream's repo-specific static analyzers: the
+// security and wire-compatibility invariants the compiler cannot check
+// (see internal/analysis). It exits non-zero when any diagnostic fires.
+//
+// Usage:
+//
+//	pplint [-update] [-rules rule1,rule2] [packages...]
+//
+// Packages default to ./... (the whole module). -update regenerates the
+// wire-schema lock (internal/protocol/wire.lock) from the current tree;
+// use it only for intentional, additive wire changes. A diagnostic is
+// suppressed by a same-line (or directly-above) comment:
+//
+//	//pplint:ignore rule reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ppstream/internal/analysis"
+)
+
+func main() {
+	update := flag.Bool("update", false, "regenerate the wire schema lock instead of diffing against it")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pplint [-update] [-rules list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers(analysis.WirecompatConfig{}) {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args(), *update, *rules); err != nil {
+		fmt.Fprintln(os.Stderr, "pplint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, update bool, rules string) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.LoadModule(patterns)
+	if err != nil {
+		return err
+	}
+	var typeErrs int
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintln(os.Stderr, "pplint: type error:", terr)
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		return fmt.Errorf("%d type errors — analysis would be unreliable", typeErrs)
+	}
+	analyzers := analysis.Analyzers(analysis.WirecompatConfig{
+		LockPath: filepath.Join(root, analysis.DefaultWireLockPath),
+		Structs:  analysis.DefaultWireStructs(),
+		Update:   update,
+	})
+	if rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no analyzers match -rules=%s", rules)
+		}
+		analyzers = filtered
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pplint: %d diagnostics\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

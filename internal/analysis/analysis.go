@@ -1,0 +1,202 @@
+// Package analysis is pplint's repo-specific static-analysis framework:
+// a stdlib-only (go/ast, go/parser, go/token, go/types, go/importer)
+// analyzer driver that walks every package of the module and enforces the
+// security invariants PP-Stream's correctness argument rests on but the
+// compiler cannot check — cryptographic randomness in security-critical
+// packages, re-randomization of every ciphertext leaving the model
+// provider, big.Int aliasing hygiene, additive-only wire-schema
+// evolution, and audited error handling on the crypto and wire layers.
+//
+// Each analyzer is a self-contained pass producing position-accurate
+// diagnostics. A diagnostic on a line carrying (or directly below) a
+// "//pplint:ignore rule [reason]" comment is suppressed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at an exact source position.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one self-contained invariant check. Run is invoked once per
+// package; Finish, when non-nil, is invoked once after every package has
+// been visited (for cross-package checks like the wire-schema diff).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// Finish reports whole-program diagnostics after all Run calls.
+	Finish func(report func(Diagnostic)) error
+}
+
+// Run applies every analyzer to every package, filters diagnostics
+// suppressed by //pplint:ignore directives, and returns the remainder
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := ignoreIndex{}
+	for _, pkg := range pkgs {
+		ignores.addPackage(pkg)
+	}
+	var diags []Diagnostic
+	report := func(d Diagnostic) {
+		if !ignores.suppressed(d) {
+			diags = append(diags, d)
+		}
+	}
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		if err := a.Finish(report); err != nil {
+			return nil, fmt.Errorf("analysis: %s finish: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// ignoreDirective is the comment prefix of the per-line escape hatch:
+//
+//	//pplint:ignore rule1,rule2 optional reason
+//
+// The directive suppresses the named rules ("all" suppresses every rule)
+// on the directive's own line and on the line directly below it, covering
+// both trailing-comment and standalone-comment placement.
+const ignoreDirective = "pplint:ignore"
+
+// ignoreIndex maps filename -> line -> rule names suppressed there.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (ix ignoreIndex) addPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				rules := []string{"all"}
+				if len(fields) > 0 {
+					rules = strings.Split(fields[0], ",")
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ix[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ix[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = map[string]bool{}
+						lines[line] = set
+					}
+					for _, r := range rules {
+						set[strings.TrimSpace(r)] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (ix ignoreIndex) suppressed(d Diagnostic) bool {
+	set := ix[d.Pos.Filename][d.Pos.Line]
+	return set != nil && (set[d.Rule] || set["all"])
+}
+
+// enclosingFuncName returns the name of the function declaration covering
+// pos in file, or "" at file scope.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// securityCriticalPackages are the packages where the paper's security
+// argument lives: Paillier encryption (§III-B), permutation obfuscation
+// (§III-C/D), the cross-party protocol, and the garbled-circuit baseline.
+var securityCriticalPackages = map[string]bool{
+	"paillier":  true,
+	"obfuscate": true,
+	"protocol":  true,
+	"garble":    true,
+}
+
+// pkgBase returns the last element of an import path.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// Analyzers returns the full pplint suite with the given wirecompat
+// configuration.
+func Analyzers(wire WirecompatConfig) []*Analyzer {
+	return []*Analyzer{
+		CryptorandAnalyzer,
+		RerandomizeAnalyzer,
+		BigintaliasAnalyzer,
+		NewWirecompatAnalyzer(wire),
+		ErrauditAnalyzer,
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrauditAnalyzer flags discarded error returns on the crypto and wire
+// layers: gob Encode/Decode (a dropped encode error desynchronizes the
+// gob stream and every later frame misparses), net.Conn writes (a lost
+// frame with no error surfaces as a protocol hang), and crypto/rand
+// reads (a failed read silently downgrades randomness to zeros). Only
+// fully discarded results (expression statements, go/defer) are flagged;
+// an explicit `_ =` assignment is a visible decision and the per-line
+// //pplint:ignore directive documents intentional cases.
+var ErrauditAnalyzer = &Analyzer{
+	Name: "erraudit",
+	Doc:  "unchecked errors from gob Encode/Decode, net.Conn writes, and rand.Read",
+	Run:  runErraudit,
+}
+
+func runErraudit(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if kind := auditedCall(pass.Pkg.Info, call); kind != "" {
+				pass.Reportf(call.Pos(), "unchecked error from %s: a silent failure here desynchronizes the wire stream or degrades randomness — handle the error or discard it explicitly", kind)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// auditedCall classifies a call as one of the audited error sources,
+// returning a human-readable name or "".
+func auditedCall(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "encoding/gob":
+		switch name {
+		case "Encode", "EncodeValue", "Decode", "DecodeValue":
+			return "gob." + name
+		}
+	case "net":
+		if name == "Write" {
+			return "net.Conn.Write"
+		}
+	case "crypto/rand", "math/rand", "math/rand/v2":
+		if name == "Read" {
+			return "rand.Read"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,506 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RerandomizeAnalyzer enforces the paper's ciphertext-egress invariant
+// (§III-B, and the PR 2 unblinded-row fix): every exported paillier
+// function whose result is a ciphertext derived from homomorphic
+// operations must reach a re-randomization (fresh r^n blinding) on every
+// return path. Otherwise an output's randomness is only inherited from
+// its inputs — and absent entirely for an all-zero weight row, which
+// previously leaked the deterministic embedding of the bias.
+//
+// The check walks a package-local call graph: a function "derives" if it
+// (or a package function it calls) performs homomorphic arithmetic, and a
+// return path is "blinded" if a blinding call (freshBlinding / Blinding /
+// Encrypt* / Rerandomize*) is definitely executed before it, or the
+// returned expression itself comes from an always-blinding function.
+//
+// Allowlisted: the low-level homomorphic primitives Add, AddPlain,
+// MulScalar, and MulScalarInt64 (Eq. 1/2 building blocks whose contract
+// puts blinding at the egress boundary, i.e. the kernel and protocol
+// layers), and *Ref-suffixed differential-test reference implementations,
+// which are documented as never leaving the model provider.
+var RerandomizeAnalyzer = &Analyzer{
+	Name: "rerandomize",
+	Doc:  "exported paillier ciphertext producers must re-randomize on every return path",
+	Run:  runRerandomize,
+}
+
+// blindingNames are the functions that introduce fresh r^n randomness (or
+// are themselves the re-randomization operation). A call to any of these,
+// resolved to the package under analysis, marks the path blinded.
+var blindingNames = map[string]bool{
+	"freshBlinding":       true,
+	"encryptWithBlinding": true,
+	"Blinding":            true,
+	"Encrypt":             true,
+	"EncryptWithBlinding": true,
+	"EncryptZero":         true,
+	"EncryptInt64":        true,
+	"Rerandomize":         true,
+	"RerandomizeWith":     true,
+}
+
+// homomorphicPrimitives are the exported Eq. 1/2 building blocks: they
+// derive ciphertexts homomorphically by design and are exempt from the
+// egress rule (their documented contract defers blinding to the caller).
+var homomorphicPrimitives = map[string]bool{
+	"Add":            true,
+	"AddPlain":       true,
+	"MulScalar":      true,
+	"MulScalarInt64": true,
+}
+
+// bigIntHomomorphicOps are the math/big methods whose use on ring
+// elements marks a function as homomorphically deriving: modular
+// multiplication (Eq. 1), exponentiation (Eq. 2), and inversion
+// (negative weights).
+var bigIntHomomorphicOps = map[string]bool{
+	"Mul":        true,
+	"Exp":        true,
+	"ModInverse": true,
+}
+
+type rerandomizer struct {
+	pass  *Pass
+	pkg   *types.Package
+	decls map[*types.Func]*ast.FuncDecl
+	// derives marks functions that perform (transitively) homomorphic
+	// arithmetic; alwaysBlinds marks functions whose every non-nil
+	// ciphertext return is blinded.
+	derives      map[*types.Func]bool
+	alwaysBlinds map[*types.Func]bool
+}
+
+func runRerandomize(pass *Pass) error {
+	if pkgBase(pass.Pkg.Path) != "paillier" {
+		return nil
+	}
+	r := &rerandomizer{
+		pass:         pass,
+		pkg:          pass.Pkg.Types,
+		decls:        map[*types.Func]*ast.FuncDecl{},
+		derives:      map[*types.Func]bool{},
+		alwaysBlinds: map[*types.Func]bool{},
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				r.decls[obj] = fd
+			}
+		}
+	}
+	r.computeDerives()
+	r.computeAlwaysBlinds()
+
+	for obj, fd := range r.decls {
+		name := obj.Name()
+		if !fd.Name.IsExported() || !r.derives[obj] || !r.returnsCiphertext(obj) {
+			continue
+		}
+		if blindingNames[name] || homomorphicPrimitives[name] || strings.HasSuffix(name, "Ref") {
+			continue
+		}
+		w := r.newWalker()
+		w.walkStmts(fd.Body.List, false)
+		for _, bad := range w.violations {
+			r.pass.Reportf(bad.Pos(), "exported %s returns a homomorphically-derived ciphertext without re-randomization on this path: multiply in a fresh r^n blinding factor before the ciphertext leaves the model provider (paper §III-B)", name)
+		}
+	}
+	return nil
+}
+
+// calleeObj resolves a call expression to its function object, or nil.
+func (r *rerandomizer) calleeObj(call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := r.pass.Pkg.Info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := r.pass.Pkg.Info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// computeDerives marks functions performing homomorphic arithmetic,
+// propagated transitively through package-local calls.
+func (r *rerandomizer) computeDerives() {
+	callers := map[*types.Func][]*types.Func{} // callee -> callers
+	var work []*types.Func
+	for obj, fd := range r.decls {
+		seeded := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := r.calleeObj(call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch callee.Pkg().Path() {
+			case r.pkg.Path():
+				if homomorphicPrimitives[callee.Name()] {
+					seeded = true
+				}
+				callers[callee] = append(callers[callee], obj)
+			case "math/big":
+				if bigIntHomomorphicOps[callee.Name()] {
+					seeded = true
+				}
+			}
+			return true
+		})
+		if seeded {
+			r.derives[obj] = true
+			work = append(work, obj)
+		}
+	}
+	for len(work) > 0 {
+		callee := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[callee] {
+			if !r.derives[caller] {
+				r.derives[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+}
+
+// computeAlwaysBlinds iterates to a fixpoint over ciphertext-returning
+// package functions: a function always blinds when every return of a
+// non-nil ciphertext happens in blinded path state (or returns the result
+// of another always-blinding function). Growing the set can only make
+// more functions pass, so iteration is monotone.
+func (r *rerandomizer) computeAlwaysBlinds() {
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range r.decls {
+			if r.alwaysBlinds[obj] || !r.returnsCiphertext(obj) {
+				continue
+			}
+			w := r.newWalker()
+			w.walkStmts(fd.Body.List, false)
+			if len(w.violations) == 0 {
+				r.alwaysBlinds[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// returnsCiphertext reports whether the function's result tuple contains
+// the package's Ciphertext type (directly, behind pointers/slices/maps,
+// or as a generic type argument).
+func (r *rerandomizer) returnsCiphertext(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if r.typeHasCiphertext(res.At(i).Type(), 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *rerandomizer) typeHasCiphertext(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		if obj := tt.Obj(); obj != nil && obj.Name() == "Ciphertext" && obj.Pkg() == r.pkg {
+			return true
+		}
+		for i := 0; i < tt.TypeArgs().Len(); i++ {
+			if r.typeHasCiphertext(tt.TypeArgs().At(i), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Alias:
+		return r.typeHasCiphertext(types.Unalias(tt), depth+1)
+	case *types.Pointer:
+		return r.typeHasCiphertext(tt.Elem(), depth+1)
+	case *types.Slice:
+		return r.typeHasCiphertext(tt.Elem(), depth+1)
+	case *types.Array:
+		return r.typeHasCiphertext(tt.Elem(), depth+1)
+	case *types.Map:
+		return r.typeHasCiphertext(tt.Elem(), depth+1)
+	}
+	return false
+}
+
+// isBlindingCall reports whether a call introduces fresh blinding: a
+// blinding-named function of this package, or an always-blinding package
+// function.
+func (r *rerandomizer) isBlindingCall(call *ast.CallExpr) bool {
+	callee := r.calleeObj(call)
+	if callee == nil || callee.Pkg() != r.pkg {
+		return false
+	}
+	return blindingNames[callee.Name()] || r.alwaysBlinds[callee]
+}
+
+// containsBlinding reports whether any call under n is a blinding call.
+func (r *rerandomizer) containsBlinding(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && r.isBlindingCall(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// blindWalker is the per-function "definitely blinded before return"
+// analysis: an abstract state (has a blinding call definitely executed?)
+// flows through the statement tree; branches merge with AND, loop bodies
+// do not leak state out. Returns of non-nil ciphertexts in unblinded
+// state are violations.
+type blindWalker struct {
+	r       *rerandomizer
+	tainted map[types.Object]bool // idents holding blinded ciphertexts
+	// violations are the returned expressions (or return statements) that
+	// may carry an unblinded derived ciphertext.
+	violations []ast.Node
+}
+
+func (r *rerandomizer) newWalker() *blindWalker {
+	return &blindWalker{r: r, tainted: map[types.Object]bool{}}
+}
+
+// walkStmts flows the blinded state through a statement list and returns
+// the state after it.
+func (w *blindWalker) walkStmts(stmts []ast.Stmt, blinded bool) bool {
+	for _, s := range stmts {
+		blinded = w.walkStmt(s, blinded)
+	}
+	return blinded
+}
+
+func (w *blindWalker) walkStmt(s ast.Stmt, blinded bool) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		w.checkReturn(st, blinded)
+		return blinded
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, blinded)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, blinded)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			blinded = w.walkStmt(st.Init, blinded)
+		}
+		if w.r.containsBlinding(st.Cond) {
+			blinded = true
+		}
+		thenState := w.walkStmts(st.Body.List, blinded)
+		elseState := blinded
+		if st.Else != nil {
+			elseState = w.walkStmt(st.Else, blinded)
+		}
+		return thenState && elseState
+	case *ast.ForStmt:
+		if st.Init != nil {
+			blinded = w.walkStmt(st.Init, blinded)
+		}
+		w.walkStmts(st.Body.List, blinded)
+		return blinded // body may run zero times
+	case *ast.RangeStmt:
+		w.walkStmts(st.Body.List, blinded)
+		return blinded
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			blinded = w.walkStmt(st.Init, blinded)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, blinded)
+			}
+		}
+		return blinded
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			blinded = w.walkStmt(st.Init, blinded)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, blinded)
+			}
+		}
+		return blinded
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, blinded)
+			}
+		}
+		return blinded
+	case *ast.AssignStmt:
+		w.recordTaint(st)
+		if w.r.containsBlinding(st) {
+			return true
+		}
+		return blinded
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred/concurrent blinding cannot blind the value a return
+		// statement has already evaluated: no state change.
+		return blinded
+	default:
+		if w.r.containsBlinding(s) {
+			return true
+		}
+		return blinded
+	}
+}
+
+// recordTaint marks idents assigned from blinding calls (or from already
+// tainted idents) as holding blinded ciphertexts; assignment into an
+// element of a composite (out[i] = ct) propagates to the root ident.
+func (w *blindWalker) recordTaint(st *ast.AssignStmt) {
+	blindedRHS := len(st.Rhs) == 1 && w.rhsBlinded(st.Rhs[0])
+	if !blindedRHS {
+		return
+	}
+	for _, lhs := range st.Lhs {
+		if root := rootIdent(lhs); root != nil {
+			if obj := w.identObj(root); obj != nil {
+				w.tainted[obj] = true
+			}
+		}
+	}
+}
+
+func (w *blindWalker) rhsBlinded(e ast.Expr) bool {
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if w.r.isBlindingCall(ex) {
+			return true
+		}
+		// append(xs, ct, ...) propagates taint: accumulating blinded
+		// ciphertexts into a slice keeps the slice blinded.
+		if id, ok := ast.Unparen(ex.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := w.identObj(id).(*types.Builtin); isBuiltin {
+				for _, arg := range ex.Args {
+					if w.exprBlinded(arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj := w.identObj(ex)
+		return obj != nil && w.tainted[obj]
+	}
+	return false
+}
+
+func (w *blindWalker) identObj(id *ast.Ident) types.Object {
+	info := w.r.pass.Pkg.Info
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkReturn validates one return statement: every returned expression
+// of ciphertext type must be nil, blinded by path state, or itself the
+// result of a blinding call / tainted ident.
+func (w *blindWalker) checkReturn(ret *ast.ReturnStmt, blinded bool) {
+	if blinded {
+		return
+	}
+	if len(ret.Results) == 0 {
+		// Naked return with named ciphertext results in unblinded state.
+		w.violations = append(w.violations, ret)
+		return
+	}
+	info := w.r.pass.Pkg.Info
+	for _, e := range ret.Results {
+		tv, ok := info.Types[e]
+		if !ok || !w.r.typeHasCiphertext(tv.Type, 0) {
+			continue
+		}
+		if tv.IsNil() || w.exprBlinded(e) {
+			continue
+		}
+		w.violations = append(w.violations, e)
+	}
+}
+
+func (w *blindWalker) exprBlinded(e ast.Expr) bool {
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return w.r.isBlindingCall(ex)
+	case *ast.Ident:
+		obj := w.identObj(ex)
+		return obj != nil && w.tainted[obj]
+	case *ast.UnaryExpr:
+		// &Ciphertext{c: x} with x tainted.
+		if cl, ok := ex.X.(*ast.CompositeLit); ok {
+			return w.compositeBlinded(cl)
+		}
+	case *ast.CompositeLit:
+		return w.compositeBlinded(ex)
+	}
+	return false
+}
+
+func (w *blindWalker) compositeBlinded(cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		v := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+			if obj := w.identObj(id); obj != nil && w.tainted[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent returns the base identifier of an lvalue chain
+// (out, out[i], out.f, *p ...), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch ex := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return ex
+		case *ast.IndexExpr:
+			e = ex.X
+		case *ast.SelectorExpr:
+			e = ex.X
+		case *ast.StarExpr:
+			e = ex.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package keys is a pplint fixture for the bigintalias analyzer: the
+// two aliasing hazards (mutate-through-alias and leaky accessors) next
+// to their safe forms.
+package keys
+
+import "math/big"
+
+// Key holds big.Int key material.
+type Key struct{ n *big.Int }
+
+// Modulus leaks the internal modulus by reference: a caller mutating
+// the result corrupts the key.
+func (k *Key) Modulus() *big.Int {
+	return k.n // want "returns internal \*big.Int k.n by reference"
+}
+
+// ModulusCopy is the safe accessor.
+func (k *Key) ModulusCopy() *big.Int {
+	return new(big.Int).Set(k.n)
+}
+
+// Reduce mutates the key's modulus through a field alias: always
+// flagged, whether or not the field is read again here.
+func (k *Key) Reduce(e *big.Int) *big.Int {
+	m := k.n
+	m.Mul(m, e) // want "mutates k.n through alias m"
+	return m
+}
+
+// ReduceCopy copies before mutating: clean.
+func (k *Key) ReduceCopy(e *big.Int) *big.Int {
+	m := new(big.Int).Set(k.n)
+	m.Mul(m, e)
+	return m
+}
+
+// InPlace is the idiomatic receiver-equals-argument form: exempt.
+func InPlace(t, d *big.Int) *big.Int {
+	t.Div(t, d)
+	return t
+}
+
+// AliasReadAfter mutates through an alias of a, then reads a again:
+// the read observes the clobbered value.
+func AliasReadAfter(a, b *big.Int) *big.Int {
+	x := a
+	x.Add(x, b) // want "read again afterwards"
+	return new(big.Int).Set(a)
+}
+
+// AliasNoReadAfter rebinds the name but never reads the source again:
+// clean (an intentional consume-and-mutate).
+func AliasNoReadAfter(a, b *big.Int) *big.Int {
+	x := a
+	x.Add(x, b)
+	return x
+}
+
+// FreshFromCall assigns from a constructor call, which breaks any
+// alias: clean.
+func FreshFromCall(a, b *big.Int) *big.Int {
+	x := new(big.Int).Set(a)
+	x.Add(x, b)
+	return x
+}

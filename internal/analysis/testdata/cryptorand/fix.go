@@ -1,0 +1,51 @@
+// Package obfuscate is a pplint fixture reproducing the pre-fix
+// obfuscate.NewRandom pattern: a crypto/rand seed squeezed through a
+// 64-bit math/rand generator, which caps the reachable permutation
+// space at 2^64 << P!.
+package obfuscate
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	mrand "math/rand"
+)
+
+// Permutation is a minimal stand-in for obfuscate.Permutation.
+type Permutation struct{ fwd []int }
+
+// NewRandom is the original buggy construction: cryptographically
+// seeded, but the permutation is drawn through math/rand.
+func NewRandom(n int) *Permutation {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	seed := int64(binary.LittleEndian.Uint64(b[:]))
+	rng := mrand.New(mrand.NewSource(seed)) // want "math/rand used in security-critical package obfuscate"
+	return &Permutation{fwd: rng.Perm(n)}
+}
+
+// NewSeeded is deterministic by documented contract (reproducible test
+// and experiment permutations) and is allowlisted.
+func NewSeeded(n int, seed int64) *Permutation {
+	rng := mrand.New(mrand.NewSource(seed))
+	return &Permutation{fwd: rng.Perm(n)}
+}
+
+// shuffleForBench exercises the trailing-comment ignore placement.
+func shuffleForBench(xs []int) {
+	mrand.Shuffle(len(xs), func(i, j int) { //pplint:ignore cryptorand benchmark-only shuffle
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// jitter exercises the standalone-comment-above ignore placement.
+func jitter(n int) int {
+	//pplint:ignore cryptorand non-security jitter
+	return mrand.Intn(n)
+}
+
+// pick still fires: no directive, not allowlisted.
+func pick(n int) int {
+	return mrand.Intn(n) // want "math/rand used in security-critical package obfuscate"
+}

@@ -1,0 +1,48 @@
+// Package wire is a pplint fixture for the erraudit analyzer: discarded
+// errors from gob Encode/Decode, net.Conn writes, and rand.Read next to
+// their checked forms.
+package wire
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"encoding/gob"
+	"net"
+)
+
+// Broken drops every audited error.
+func Broken(conn net.Conn, v any) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	enc.Encode(v)           // want "unchecked error from gob.Encode"
+	conn.Write(buf.Bytes()) // want "unchecked error from net.Conn.Write"
+	var b [8]byte
+	crand.Read(b[:]) // want "unchecked error from rand.Read"
+}
+
+// BrokenAsync drops errors behind go and defer, where they are even
+// harder to observe.
+func BrokenAsync(enc *gob.Encoder, dec *gob.Decoder, v any) {
+	go enc.Encode(v)    // want "unchecked error from gob.Encode"
+	defer dec.Decode(v) // want "unchecked error from gob.Decode"
+}
+
+// Checked handles every audited error: clean.
+func Checked(conn net.Conn, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	var b [8]byte
+	_, err := crand.Read(b[:])
+	return err
+}
+
+// ExplicitDiscard uses a visible `_ =` decision: not flagged (the
+// discard is auditable in review).
+func ExplicitDiscard(enc *gob.Encoder, v any) {
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,15 @@
+// Package ignoredemo is a pplint fixture for the //pplint:ignore
+// directive: three identical erraudit violations, two suppressed (one
+// by named rule as a trailing comment, one by "all" on the line above)
+// and one still firing.
+package ignoredemo
+
+import "encoding/gob"
+
+// Demo exercises both directive placements.
+func Demo(enc *gob.Encoder, v any) {
+	enc.Encode(v) // want "unchecked error from gob.Encode"
+	enc.Encode(v) //pplint:ignore erraudit fire-and-forget by design
+	//pplint:ignore all demo of the blanket form
+	enc.Encode(v)
+}

@@ -1,0 +1,15 @@
+// Package protocol is a pplint fixture for the wirecompat analyzer:
+// the committed fixture lock (wire.lock in this directory) records
+// Factor as int64 and two fields that no longer exist.
+package protocol
+
+// Hello mirrors the protocol handshake frame. Factor was retyped from
+// int64 (as locked) to int32, and the locked field Gone was deleted.
+type Hello struct {
+	N       []byte
+	Factor  int32
+	Workers int
+	hidden  int // unexported: gob never encodes it, so it is not locked
+}
+
+var _ = Hello{hidden: 0}

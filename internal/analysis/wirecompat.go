@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WirecompatConfig parameterizes the wire-schema compatibility analyzer.
+type WirecompatConfig struct {
+	// LockPath is the committed golden-schema file.
+	LockPath string
+	// Structs maps package import paths to the gob wire structs whose
+	// exported fields are locked.
+	Structs map[string][]string
+	// Update regenerates the lock from the current tree instead of
+	// diffing against it.
+	Update bool
+}
+
+// DefaultWireLockPath is the module-relative location of the committed
+// wire schema.
+const DefaultWireLockPath = "internal/protocol/wire.lock"
+
+// DefaultWireStructs lists every gob struct that crosses a process
+// boundary: the protocol session frames (internal/protocol/wire.go and
+// service.go), the stream layer's TCP frame and trace records, the
+// persisted Paillier key format, and the persisted model format.
+func DefaultWireStructs() map[string][]string {
+	return map[string][]string{
+		"ppstream/internal/protocol": {"Hello", "roundFrame", "TraceContext", "WireSpan", "WireEnvelope"},
+		"ppstream/internal/stream":   {"Message", "Span", "Trace", "wireFrame"},
+		"ppstream/internal/paillier": {"wireKey"},
+		"ppstream/internal/nn":       {"tensorBlob", "layerBlob", "networkBlob"},
+	}
+}
+
+// wireField is one locked (package, struct, field, type) entry.
+type wireField struct {
+	Pkg, Struct, Field, Type string
+}
+
+func (f wireField) key() string { return f.Pkg + " " + f.Struct + " " + f.Field }
+
+// NewWirecompatAnalyzer builds the wire-schema analyzer.
+//
+// Invariant: the gob wire format must evolve additively. Old peers decode
+// frames with unknown fields skipped and missing fields zero, so ADDING a
+// field keeps both directions interoperating — but REMOVING or RETYPING
+// one silently breaks every deployed peer (gob fails or, worse, decodes
+// garbage). The analyzer extracts the exported field sets of the wire
+// structs and diffs them against the committed lock; pplint -update
+// regenerates the lock when an additive change lands.
+func NewWirecompatAnalyzer(cfg WirecompatConfig) *Analyzer {
+	state := &wirecompatState{
+		cfg:      cfg,
+		current:  map[string]wireField{},
+		fieldPos: map[string]token.Position{},
+		visited:  map[string]bool{},
+	}
+	return &Analyzer{
+		Name:   "wirecompat",
+		Doc:    "gob wire structs must evolve additively against the committed wire.lock schema",
+		Run:    state.run,
+		Finish: state.finish,
+	}
+}
+
+type wirecompatState struct {
+	cfg      WirecompatConfig
+	current  map[string]wireField      // key() -> entry
+	fieldPos map[string]token.Position // key() -> source position
+	visited  map[string]bool           // package paths seen this run
+}
+
+func (s *wirecompatState) run(pass *Pass) error {
+	names, ok := s.cfg.Structs[pass.Pkg.Path]
+	if !ok {
+		return nil
+	}
+	s.visited[pass.Pkg.Path] = true
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range names {
+		obj := scope.Lookup(name)
+		if obj == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(), "wire struct %s not found in %s: if it was renamed or removed, the wire format is no longer decodable by old peers", name, pass.Pkg.Path)
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(obj.Pos(), "wire type %s is no longer a struct", name)
+			continue
+		}
+		qual := types.RelativeTo(pass.Pkg.Types)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // gob only encodes exported fields
+			}
+			entry := wireField{
+				Pkg:    pass.Pkg.Path,
+				Struct: name,
+				Field:  f.Name(),
+				Type:   types.TypeString(f.Type(), qual),
+			}
+			s.current[entry.key()] = entry
+			s.fieldPos[entry.key()] = pass.Pkg.Fset.Position(f.Pos())
+		}
+	}
+	return nil
+}
+
+func (s *wirecompatState) finish(report func(Diagnostic)) error {
+	if s.cfg.Update {
+		return s.writeLock()
+	}
+	locked, lockLines, err := readLock(s.cfg.LockPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			report(Diagnostic{
+				Pos:  token.Position{Filename: s.cfg.LockPath, Line: 1},
+				Rule: "wirecompat",
+				Msg:  "wire schema lock missing: run pplint -update to generate it",
+			})
+			return nil
+		}
+		return err
+	}
+	for _, entry := range locked {
+		if !s.visited[entry.Pkg] {
+			continue // package outside this run's patterns
+		}
+		cur, ok := s.current[entry.key()]
+		if !ok {
+			report(Diagnostic{
+				Pos:  token.Position{Filename: s.cfg.LockPath, Line: lockLines[entry.key()]},
+				Rule: "wirecompat",
+				Msg:  fmt.Sprintf("wire field %s.%s (%s) was removed: the gob wire format must evolve additively — old peers still send/expect it (run pplint -update only for intentional, coordinated breaks)", entry.Struct, entry.Field, entry.Type),
+			})
+			continue
+		}
+		if cur.Type != entry.Type {
+			report(Diagnostic{
+				Pos:  s.fieldPos[entry.key()],
+				Rule: "wirecompat",
+				Msg:  fmt.Sprintf("wire field %s.%s retyped from %s to %s: gob decodes this as garbage or an error on old peers — add a new field instead", entry.Struct, entry.Field, entry.Type, cur.Type),
+			})
+		}
+	}
+	return nil
+}
+
+const lockHeader = `# pplint wirecompat schema lock — generated by "pplint -update"; do not edit.
+# One line per exported field of every gob wire struct:
+#   <package> <struct> <field> <type>
+# Removing or retyping a locked field fails pplint: the wire format must
+# evolve additively so old peers keep interoperating.
+`
+
+func (s *wirecompatState) writeLock() error {
+	keys := make([]string, 0, len(s.current))
+	for k := range s.current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(lockHeader)
+	for _, k := range keys {
+		e := s.current[k]
+		fmt.Fprintf(&b, "%s %s %s %s\n", e.Pkg, e.Struct, e.Field, e.Type)
+	}
+	return os.WriteFile(s.cfg.LockPath, []byte(b.String()), 0o644)
+}
+
+// readLock parses the lock file into entries plus each entry's line
+// number for diagnostics.
+func readLock(path string) ([]wireField, map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []wireField
+	lines := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) < 4 {
+			return nil, nil, fmt.Errorf("analysis: %s:%d: malformed lock entry %q", path, i+1, line)
+		}
+		e := wireField{Pkg: parts[0], Struct: parts[1], Field: parts[2], Type: strings.Join(parts[3:], " ")}
+		entries = append(entries, e)
+		lines[e.key()] = i + 1
+	}
+	return entries, lines, nil
+}

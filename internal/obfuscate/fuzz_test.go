@@ -1,0 +1,95 @@
+package obfuscate
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzPermutationFromSlice feeds adversarial forward mappings to
+// FromSlice: it must never panic, must reject everything that is not a
+// bijection on [0, n), and every accepted permutation must satisfy
+// Invert ∘ Apply = identity.
+func FuzzPermutationFromSlice(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 2})
+	f.Add([]byte{3, 2, 1, 0})
+	f.Add([]byte{0, 0})       // repeated value
+	f.Add([]byte{7, 1})       // out of range
+	f.Add([]byte{0xFF, 0x01}) // negative after int8 mapping
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			return
+		}
+		forward := make([]int, len(data))
+		for i, b := range data {
+			// int8 mapping exercises negatives and values >= n at small n.
+			forward[i] = int(int8(b))
+		}
+		p, err := FromSlice(forward)
+		if err != nil {
+			return
+		}
+		in := make([]int, p.Len())
+		for i := range in {
+			in[i] = i * 31
+		}
+		applied, err := Apply(p, in)
+		if err != nil {
+			t.Fatalf("Apply on accepted permutation: %v", err)
+		}
+		restored, err := Invert(p, applied)
+		if err != nil {
+			t.Fatalf("Invert on accepted permutation: %v", err)
+		}
+		for i := range in {
+			if restored[i] != in[i] {
+				t.Fatalf("Invert(Apply(x)) != x at %d: got %d want %d (forward=%v)", i, restored[i], in[i], forward)
+			}
+		}
+	})
+}
+
+// TestNewRandomCoversAllPermutations is the regression test for the
+// 64-bit-seed bug: with direct crypto/rand Fisher–Yates every one of
+// the n! permutations must actually occur. For n = 4 the coupon
+// collector needs ~92 draws in expectation; 20000 draws make a missing
+// permutation astronomically unlikely.
+func TestNewRandomCoversAllPermutations(t *testing.T) {
+	const n = 4
+	want := 24 // 4!
+	seen := map[string]bool{}
+	for i := 0; i < 20000 && len(seen) < want; i++ {
+		p, err := NewRandom(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[fmt.Sprint(p.Forward())] = true
+	}
+	if len(seen) != want {
+		t.Fatalf("observed %d/%d permutations of %d elements — the full space is not reachable", len(seen), want, n)
+	}
+}
+
+func TestNewRandomRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewRandom(n); err == nil {
+			t.Errorf("NewRandom(%d) accepted", n)
+		}
+	}
+}
+
+// TestUniformIndexBounds checks the rejection sampler stays in range
+// across moduli, including ones that do not divide 2^64.
+func TestUniformIndexBounds(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 7, 64, 1000} {
+		for i := 0; i < 200; i++ {
+			v, err := uniformIndex(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v >= m {
+				t.Fatalf("uniformIndex(%d) = %d out of range", m, v)
+			}
+		}
+	}
+}

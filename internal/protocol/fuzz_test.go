@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"ppstream/internal/paillier"
+)
+
+// FuzzWireFrameDecode drives the full receive path of a session frame
+// with adversarial bytes: gob decode into roundFrame, then the same
+// validation the server/client readers run — FromWire under the public
+// key, span conversion, and trace-context validation. None of it may
+// panic; the network is untrusted (Section II-C).
+func FuzzWireFrameDecode(f *testing.F) {
+	k, err := paillier.GenerateKey(nil, 256)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pk := &k.PublicKey
+
+	seed := func(rf roundFrame) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(roundFrame{
+		Round: 1,
+		Env: &WireEnvelope{
+			Req:    7,
+			Shape:  []int{2},
+			Cipher: [][]byte{{0x05}, {0x09}},
+			Exp:    3,
+		},
+		TC: &TraceContext{Ver: TraceV1, ID: "fuzz-req"},
+	})
+	seed(roundFrame{
+		Round: 2,
+		Env: &WireEnvelope{
+			Req:         7,
+			Result:      []float64{1.5, -2.5},
+			ResultShape: []int{2},
+		},
+		Spans: []WireSpan{{Party: "data", Name: "relu", Round: 1, Nanos: 42}, {Party: "x", Nanos: -1}},
+	})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var rf roundFrame
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rf); err != nil {
+			return
+		}
+		_ = rf.TC.valid() // nil-safe by contract
+		_ = fromWireSpans(rf.Spans)
+		if rf.Env != nil {
+			env, err := FromWire(rf.Env, pk)
+			if err == nil && env.CT == nil && env.Result == nil {
+				t.Fatal("FromWire accepted an envelope with neither ciphertext nor result")
+			}
+		}
+	})
+}
