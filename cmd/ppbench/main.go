@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|all>
+//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|top|all>
 //
 // Flags:
 //
@@ -15,12 +15,20 @@
 //	-quick         smallest model subsets (CI mode)
 //	-real          wall-clock measurement instead of the calibrated
 //	               latency model (use on multi-core hosts)
+//	-json          also write a versioned BENCH_<experiment>.json record
+//	               (kernel, serve, trace) for CI artifact upload
+//
+// `ppbench top` is a live console view over a running ppserver's
+// /metrics endpoint: per-tick request/round throughput, crypto-op rates
+// from the cost meters, and per-stage latency percentiles. It takes
+// -addr (the ppserver -metrics address), -every, and -iters.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ppstream/internal/experiments"
@@ -33,6 +41,10 @@ func main() {
 	trials := flag.Int("trials", 3, "trials for statistical measurements")
 	quick := flag.Bool("quick", false, "restrict to the smallest model subsets")
 	real := flag.Bool("real", false, "wall-clock latency (multi-core hosts) instead of the calibrated model")
+	jsonOut := flag.Bool("json", false, "also write a versioned BENCH_<experiment>.json record (kernel, serve, trace)")
+	addr := flag.String("addr", "127.0.0.1:7200", "metrics endpoint for `top` (ppserver -metrics address)")
+	every := flag.Duration("every", 2*time.Second, "poll interval for `top`")
+	iters := flag.Int("iters", 0, "frames to render for `top` (0 = until interrupted)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ppbench [flags] <experiment>\n\nexperiments:\n")
 		fmt.Fprintf(os.Stderr, "  fig1     Paillier benchmark vs key size\n")
@@ -49,6 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  stages   per-stage latency percentiles (p50/p95/p99) from real streaming runs\n")
 		fmt.Fprintf(os.Stderr, "  serve    sustained throughput over one multiplexed TCP session at varying client concurrency\n")
 		fmt.Fprintf(os.Stderr, "  trace    merged cross-party trace over TCP: per-segment (client/wire/server) p50/p95/p99\n")
+		fmt.Fprintf(os.Stderr, "  top      live console view over a running ppserver's /metrics (see -addr, -every, -iters)\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -66,13 +79,36 @@ func main() {
 		RealTime:    *real,
 	}
 	name := flag.Arg(0)
-	if err := run(name, cfg); err != nil {
+	if name == "top" {
+		if err := experiments.Top(os.Stdout, experiments.TopOptions{Addr: *addr, Every: *every, Iterations: *iters}); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(name, cfg, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "ppbench %s: %v\n", name, err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, cfg experiments.Config) error {
+// benchHost pins the run environment recorded in BENCH_*.json.
+func benchHost() experiments.BenchHost {
+	return experiments.BenchHost{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+}
+
+// emitJSON writes the benchmark's machine-readable record next to the
+// console output and announces the artifact path.
+func emitJSON(name string, cfg experiments.Config, result any) error {
+	path, err := experiments.WriteBenchJSON(".", name, cfg, benchHost(), result)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n[wrote %s]\n", path)
+	return nil
+}
+
+func run(name string, cfg experiments.Config, jsonOut bool) error {
 	start := time.Now()
 	defer func() { fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond)) }()
 	switch name {
@@ -96,6 +132,11 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		if jsonOut {
+			if err := emitJSON(name, cfg, res); err != nil {
+				return err
+			}
+		}
 	case "table3":
 		fmt.Print(experiments.Table3Render())
 	case "table4", "table5":
@@ -161,15 +202,25 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(res.Render())
+		if jsonOut {
+			if err := emitJSON(name, cfg, res); err != nil {
+				return err
+			}
+		}
 	case "trace":
 		res, err := experiments.TraceBench(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Render())
+		if jsonOut {
+			if err := emitJSON(name, cfg, res); err != nil {
+				return err
+			}
+		}
 	case "all":
 		for _, sub := range []string{"fig1", "kernel", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {
-			if err := run(sub, cfg); err != nil {
+			if err := run(sub, cfg, jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 			fmt.Println()

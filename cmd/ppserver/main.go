@@ -16,7 +16,10 @@
 // split, TCP byte/frame counters, runtime gauges) is served at
 // http://<addr>/metrics — JSON by default, Prometheus text at
 // /metrics/prometheus or with ?format=prometheus — plus /healthz,
-// /readyz, and pprof at /debug/pprof/.
+// /readyz, and pprof at /debug/pprof/. The flight recorder (-flight)
+// keeps the last N request traces with per-round crypto-cost profiles,
+// served at /debug/flight and dumped to stderr on SIGQUIT; -profiledir
+// enables periodic labeled CPU/heap profile capture.
 //
 // The server emits structured JSON log lines (startup configuration,
 // session lifecycle, a shutdown summary with request counts and uptime
@@ -51,6 +54,9 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve metrics (JSON + Prometheus) + health + pprof on this address (e.g. :7200; empty disables)")
 	slow := flag.Duration("slow", 0, "log rounds slower than this with their trace ID (0 disables)")
 	debugLog := flag.Bool("debug", false, "emit debug-level log lines")
+	flightN := flag.Int("flight", obs.DefaultFlightRecent, "flight recorder ring size: keep the last N request traces with cost profiles at /debug/flight and on SIGQUIT (0 disables)")
+	profileDir := flag.String("profiledir", "", "write periodic labeled CPU/heap profiles into this directory (empty disables)")
+	profileEvery := flag.Duration("profileevery", time.Minute, "continuous-profiling capture period (with -profiledir)")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -75,16 +81,37 @@ func main() {
 	reg := obs.NewRegistry("ppserver")
 	obs.RegisterRuntimeMetrics(reg)
 
+	// Flight recorder: the last-N / slowest-K / errored request traces
+	// with their crypto-cost profiles, served at /debug/flight and dumped
+	// to stderr on SIGQUIT. A nil recorder disables recording everywhere.
+	var flight *obs.FlightRecorder
+	if *flightN > 0 {
+		flight = obs.NewFlightRecorder(*flightN, 0, 0)
+	}
+
 	var ready atomic.Bool
 	metricsBound := ""
 	if *metricsAddr != "" {
-		bound, stop, err := obs.ServeOpts(*metricsAddr, obs.HTTPOptions{Ready: ready.Load}, reg)
+		bound, stop, err := obs.ServeOpts(*metricsAddr, obs.HTTPOptions{Ready: ready.Load, Flight: flight}, reg)
 		if err != nil {
 			logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err.Error())
 			os.Exit(1)
 		}
 		defer stop(context.Background())
 		metricsBound = bound
+	}
+
+	if *profileDir != "" {
+		stopProf, err := obs.StartProfileLoop(obs.ProfileLoopOptions{
+			Dir:   *profileDir,
+			Every: *profileEvery,
+			Log:   logger,
+		})
+		if err != nil {
+			logger.Error("profile loop failed", "dir", *profileDir, "err", err.Error())
+			os.Exit(1)
+		}
+		defer stopProf()
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -105,6 +132,21 @@ func main() {
 		"idle_ttl", idleTTL.String(),
 		"slow_threshold", slow.String(),
 	)
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
+	// the in-production "what just happened" escape hatch. Registering
+	// the handler replaces the runtime's kill-with-stack-dump default.
+	if flight != nil {
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		go func() {
+			for range quitCh {
+				if err := flight.WriteJSON(os.Stderr); err != nil {
+					logger.Warn("flight dump failed", "err", err.Error())
+				}
+			}
+		}()
+	}
 
 	// Shutdown summary on SIGINT/SIGTERM: what the server did with its
 	// uptime, from the same registry the metrics endpoint serves.
@@ -146,6 +188,7 @@ func main() {
 				IdleTTL:    *idleTTL,
 				Registry:   reg,
 				Log:        slog,
+				Flight:     flight,
 			}
 			if err := protocol.ServeSessionConfig(ctx, edge, edge, netModel, cfg); err != nil {
 				slog.Warn("session failed", "err", err.Error())

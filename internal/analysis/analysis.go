@@ -198,5 +198,6 @@ func Analyzers(wire WirecompatConfig) []*Analyzer {
 		BigintaliasAnalyzer,
 		NewWirecompatAnalyzer(wire),
 		ErrauditAnalyzer,
+		NewMetricnamesAnalyzer(),
 	}
 }

@@ -148,6 +148,13 @@ func TestIgnoreDirective(t *testing.T) {
 	checkFixture(t, fixturePkg(t, "ignore", "fix/ignoredemo"), ErrauditAnalyzer)
 }
 
+func TestMetricnamesFixture(t *testing.T) {
+	// The fixture covers all three rules: literal and composed name
+	// grammar, cross-type reuse of one name, and CostStats/costFields
+	// divergence (missing tag, orphaned table entry).
+	checkFixture(t, fixturePkg(t, "metricnames", "fix/obs"), NewMetricnamesAnalyzer())
+}
+
 func TestWirecompatFixture(t *testing.T) {
 	// The fixture lock declares Factor as int64 (source retyped it to
 	// int32), a removed field Hello.Gone, and a removed struct Dropped.

@@ -38,7 +38,10 @@ var blindingNames = map[string]bool{
 	"freshBlinding":       true,
 	"encryptWithBlinding": true,
 	"Blinding":            true,
+	"blinding":            true,
+	"BlindingTracked":     true,
 	"Encrypt":             true,
+	"EncryptTracked":      true,
 	"EncryptWithBlinding": true,
 	"EncryptZero":         true,
 	"EncryptInt64":        true,

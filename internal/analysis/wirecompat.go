@@ -31,7 +31,7 @@ const DefaultWireLockPath = "internal/protocol/wire.lock"
 // persisted Paillier key format, and the persisted model format.
 func DefaultWireStructs() map[string][]string {
 	return map[string][]string{
-		"ppstream/internal/protocol": {"Hello", "roundFrame", "TraceContext", "WireSpan", "WireEnvelope"},
+		"ppstream/internal/protocol": {"Hello", "roundFrame", "TraceContext", "WireSpan", "WireCost", "WireEnvelope"},
 		"ppstream/internal/stream":   {"Message", "Span", "Trace", "wireFrame"},
 		"ppstream/internal/paillier": {"wireKey"},
 		"ppstream/internal/nn":       {"tensorBlob", "layerBlob", "networkBlob"},

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file defines the machine-readable benchmark trajectory format:
+// each ppbench run with -json writes a versioned BENCH_<name>.json
+// record next to the console output, so CI can archive benchmark
+// results as artifacts and plot trends across commits without scraping
+// the human-facing tables.
+
+// BenchRecordVersion is bumped when the record envelope changes shape.
+// Consumers should skip records with a version they do not understand.
+const BenchRecordVersion = 1
+
+// BenchRecord is the envelope written to BENCH_<name>.json: the
+// versioned schema marker, which benchmark ran under what configuration,
+// and the benchmark's full typed result (the same struct Render prints).
+type BenchRecord struct {
+	Version int       `json:"version"`
+	Bench   string    `json:"bench"`
+	When    time.Time `json:"when"`
+	// Host pins the run's environment coarsely (GOOS/GOARCH, CPU count)
+	// so trajectories across heterogeneous runners are comparable.
+	Host   BenchHost `json:"host"`
+	Config Config    `json:"config"`
+	Result any       `json:"result"`
+}
+
+// BenchHost records the coarse hardware/environment facts that move
+// benchmark numbers.
+type BenchHost struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+}
+
+// BenchFileName is the conventional artifact name for one benchmark.
+func BenchFileName(bench string) string {
+	return "BENCH_" + bench + ".json"
+}
+
+// WriteBenchJSON writes the record for one benchmark run to
+// BENCH_<bench>.json inside dir ("." for the working directory). The
+// write is atomic (temp file + rename) so a crashed run never leaves a
+// truncated artifact for CI to upload.
+func WriteBenchJSON(dir, bench string, cfg Config, host BenchHost, result any) (string, error) {
+	rec := BenchRecord{
+		Version: BenchRecordVersion,
+		Bench:   bench,
+		When:    time.Now().UTC(),
+		Host:    host,
+		Config:  cfg,
+		Result:  result,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshaling bench record %s: %w", bench, err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, BenchFileName(bench))
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return "", fmt.Errorf("experiments: creating bench temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("experiments: writing bench record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("experiments: closing bench record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("experiments: publishing bench record: %w", err)
+	}
+	return path, nil
+}
+
+// ReadBenchJSON loads a record, validating the envelope version. Result
+// is decoded as generic JSON (map/slice) since the concrete type depends
+// on Bench.
+func ReadBenchJSON(path string) (*BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading bench record: %w", err)
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench record %s: %w", path, err)
+	}
+	if rec.Version != BenchRecordVersion {
+		return nil, fmt.Errorf("experiments: bench record %s has version %d, want %d", path, rec.Version, BenchRecordVersion)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"ppstream/internal/obs"
+)
+
+// This file implements `ppbench top`: a live console view over a running
+// ppserver's /metrics endpoint. Each tick fetches the JSON snapshot,
+// diffs the cumulative counters against the previous tick, and renders
+// the serving plane's vitals — request/round throughput, crypto-op rates
+// from the cost meter, and the per-stage/per-round latency percentiles —
+// without attaching a debugger or scraping Prometheus.
+
+// TopOptions configures the live metrics view.
+type TopOptions struct {
+	// Addr is the metrics endpoint's host:port (ppserver -metrics).
+	Addr string
+	// Every is the poll interval. Non-positive defaults to 2s.
+	Every time.Duration
+	// Iterations bounds how many frames are rendered; 0 runs forever.
+	Iterations int
+	// Client overrides the HTTP client (tests). Nil uses a 5s-timeout
+	// default.
+	Client *http.Client
+}
+
+// Top polls addr's /metrics endpoint and writes one frame per tick to w.
+// It returns when Iterations frames have rendered or a fetch fails twice
+// in a row (one transient failure is reported and tolerated).
+func Top(w io.Writer, opts TopOptions) error {
+	if opts.Every <= 0 {
+		opts.Every = 2 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	url := "http://" + opts.Addr + "/metrics?format=json"
+	var prev *obs.Snapshot
+	failures := 0
+	for frame := 0; opts.Iterations == 0 || frame < opts.Iterations; frame++ {
+		if frame > 0 {
+			time.Sleep(opts.Every)
+		}
+		snap, err := fetchSnapshot(client, url)
+		if err != nil {
+			failures++
+			if failures >= 2 {
+				return fmt.Errorf("experiments: metrics fetch failed twice: %w", err)
+			}
+			fmt.Fprintf(w, "[fetch failed, retrying: %v]\n", err)
+			continue
+		}
+		failures = 0
+		fmt.Fprint(w, renderTopFrame(snap, prev, opts.Every))
+		prev = snap
+	}
+	return nil
+}
+
+// fetchSnapshot fetches and decodes one registry snapshot. A multi-
+// registry endpoint returns an array; the first registry wins.
+func fetchSnapshot(client *http.Client, url string) (*obs.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err == nil && (snap.Name != "" || len(snap.Counters) > 0) {
+		return &snap, nil
+	}
+	var snaps []obs.Snapshot
+	if err := json.Unmarshal(data, &snaps); err != nil || len(snaps) == 0 {
+		return nil, fmt.Errorf("unrecognized metrics payload (%d bytes)", len(data))
+	}
+	return &snaps[0], nil
+}
+
+// counterRate renders a cumulative counter as total plus per-second rate
+// against the previous frame.
+func counterRate(name string, cur *obs.Snapshot, prev *obs.Snapshot, every time.Duration) string {
+	v := cur.Counters[name]
+	if prev == nil {
+		return fmt.Sprintf("%d", v)
+	}
+	d := v - prev.Counters[name]
+	return fmt.Sprintf("%d (+%.1f/s)", v, float64(d)/every.Seconds())
+}
+
+// renderTopFrame formats one tick: throughput counters, crypto-op rates,
+// and latency histograms, each sorted for stable output.
+func renderTopFrame(cur, prev *obs.Snapshot, every time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s @ %s ===\n", cur.Name, cur.TakenAt.Format("15:04:05"))
+
+	serving := []string{"sessions.total", "requests.completed", "requests.evicted", "rounds.served", "rounds.errors"}
+	for _, name := range serving {
+		if _, ok := cur.Counters[name]; ok {
+			fmt.Fprintf(&b, "  %-24s %s\n", name, counterRate(name, cur, prev, every))
+		}
+	}
+
+	var costNames []string
+	for name := range cur.Counters {
+		if strings.HasPrefix(name, "cost.") {
+			costNames = append(costNames, name)
+		}
+	}
+	if len(costNames) > 0 {
+		sort.Strings(costNames)
+		b.WriteString("  crypto cost:\n")
+		for _, name := range costNames {
+			fmt.Fprintf(&b, "    %-24s %s\n", strings.TrimPrefix(name, "cost."), counterRate(name, cur, prev, every))
+		}
+	}
+
+	var histNames []string
+	for name := range cur.Histograms {
+		histNames = append(histNames, name)
+	}
+	if len(histNames) > 0 {
+		sort.Strings(histNames)
+		b.WriteString("  latency (p50/p95/p99):\n")
+		for _, name := range histNames {
+			h := cur.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-24s %s / %s / %s  (n=%d)\n",
+				name, fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), h.Count)
+		}
+	}
+	return b.String()
+}

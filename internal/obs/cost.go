@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// This file holds the crypto-cost accounting model: every request
+// accumulates the modular-arithmetic operations and ciphertext traffic
+// it caused, per layer, so a traced request shows WHY a segment was slow
+// (how many modexps, how many pool misses, how many ciphertext bytes)
+// rather than only how slow. The paillier kernel, the qnn ops, and the
+// protocol session layer all write into a per-request CostMeter; the
+// aggregated CostStats ride on TraceTree segments and feed the
+// registry's "cost.*" counters.
+
+// CostStats is one aggregated crypto-cost profile: plain values, safe to
+// copy, attached to trace segments and marshaled into flight-recorder
+// dumps. All fields count operations (or bytes) caused by one request,
+// one layer, or one whole process depending on where the snapshot was
+// taken.
+type CostStats struct {
+	// ModExps counts full modular exponentiations (encryptions, fresh
+	// blinding factors, scalar multiplications outside the kernel).
+	ModExps uint64 `json:"modexps"`
+	// MulMods counts modular multiplications (kernel squarings, table
+	// digit multiplies, power-table builds, blinding applications).
+	MulMods uint64 `json:"mulmods"`
+	// ModInverses counts modular inversions (negative-weight columns).
+	ModInverses uint64 `json:"modinverses"`
+	// Rerands counts fresh r^n output re-randomizations consumed.
+	Rerands uint64 `json:"rerands"`
+	// PoolHits counts blinding factors served from a precomputed pool.
+	PoolHits uint64 `json:"pool_hits"`
+	// PoolMisses counts blinding factors computed inline because the
+	// pool was empty (each one is a full n-bit exponentiation on the
+	// critical path).
+	PoolMisses uint64 `json:"pool_misses"`
+	// Encrypts counts plaintext→ciphertext encryptions.
+	Encrypts uint64 `json:"encrypts"`
+	// Decrypts counts ciphertext→plaintext decryptions.
+	Decrypts uint64 `json:"decrypts"`
+	// CipherBytesIn counts ciphertext bytes received from the wire.
+	CipherBytesIn uint64 `json:"cipher_bytes_in"`
+	// CipherBytesOut counts ciphertext bytes sent to the wire.
+	CipherBytesOut uint64 `json:"cipher_bytes_out"`
+}
+
+// CostField binds one CostStats field to its canonical lowercase dotted
+// metric name and its accessors. costFields is the single source of
+// truth both exposition paths render from: the registry counters
+// ("cost.<name>", JSON and Prometheus alike) and the CostMeter
+// aggregation. The pplint metricnames analyzer checks that every
+// CostStats struct field appears here and carries a JSON tag.
+type CostField struct {
+	// Name is the metric-name component, lowercase with underscores.
+	Name string
+	// Get reads the field from a snapshot.
+	Get func(*CostStats) uint64
+	// Add accumulates into a meter.
+	Add func(*CostMeter, uint64)
+}
+
+// costFields enumerates every CostStats field exactly once.
+var costFields = []CostField{
+	{Name: "modexps", Get: func(c *CostStats) uint64 { return c.ModExps }, Add: func(m *CostMeter, n uint64) { m.modExps.Add(n) }},
+	{Name: "mulmods", Get: func(c *CostStats) uint64 { return c.MulMods }, Add: func(m *CostMeter, n uint64) { m.mulMods.Add(n) }},
+	{Name: "modinverses", Get: func(c *CostStats) uint64 { return c.ModInverses }, Add: func(m *CostMeter, n uint64) { m.modInverses.Add(n) }},
+	{Name: "rerands", Get: func(c *CostStats) uint64 { return c.Rerands }, Add: func(m *CostMeter, n uint64) { m.rerands.Add(n) }},
+	{Name: "pool_hits", Get: func(c *CostStats) uint64 { return c.PoolHits }, Add: func(m *CostMeter, n uint64) { m.poolHits.Add(n) }},
+	{Name: "pool_misses", Get: func(c *CostStats) uint64 { return c.PoolMisses }, Add: func(m *CostMeter, n uint64) { m.poolMisses.Add(n) }},
+	{Name: "encrypts", Get: func(c *CostStats) uint64 { return c.Encrypts }, Add: func(m *CostMeter, n uint64) { m.encrypts.Add(n) }},
+	{Name: "decrypts", Get: func(c *CostStats) uint64 { return c.Decrypts }, Add: func(m *CostMeter, n uint64) { m.decrypts.Add(n) }},
+	{Name: "cipher_bytes_in", Get: func(c *CostStats) uint64 { return c.CipherBytesIn }, Add: func(m *CostMeter, n uint64) { m.cipherBytesIn.Add(n) }},
+	{Name: "cipher_bytes_out", Get: func(c *CostStats) uint64 { return c.CipherBytesOut }, Add: func(m *CostMeter, n uint64) { m.cipherBytesOut.Add(n) }},
+}
+
+// CostFields returns the canonical field list (name + snapshot reader)
+// so exposition code outside the package renders every field without
+// maintaining its own copy.
+func CostFields() []CostField { return costFields }
+
+// Add accumulates another profile into this one.
+func (c *CostStats) Add(o CostStats) {
+	c.ModExps += o.ModExps
+	c.MulMods += o.MulMods
+	c.ModInverses += o.ModInverses
+	c.Rerands += o.Rerands
+	c.PoolHits += o.PoolHits
+	c.PoolMisses += o.PoolMisses
+	c.Encrypts += o.Encrypts
+	c.Decrypts += o.Decrypts
+	c.CipherBytesIn += o.CipherBytesIn
+	c.CipherBytesOut += o.CipherBytesOut
+}
+
+// IsZero reports whether no operation was recorded.
+func (c *CostStats) IsZero() bool {
+	for _, f := range costFields {
+		if f.Get(c) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PoolHitRate is the fraction of blinding factors served precomputed
+// (0..1), or -1 when no factor was drawn at all.
+func (c *CostStats) PoolHitRate() float64 {
+	total := c.PoolHits + c.PoolMisses
+	if total == 0 {
+		return -1
+	}
+	return float64(c.PoolHits) / float64(total)
+}
+
+// String renders the non-zero fields compactly, the form trace trees and
+// log lines embed.
+func (c *CostStats) String() string {
+	if c == nil || c.IsZero() {
+		return "-"
+	}
+	var parts []string
+	for _, f := range costFields {
+		if v := f.Get(c); v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.Name, v))
+		}
+	}
+	if rate := c.PoolHitRate(); rate >= 0 {
+		parts = append(parts, fmt.Sprintf("pool_hit_rate=%.2f", rate))
+	}
+	return strings.Join(parts, " ")
+}
+
+// CostMeter accumulates crypto-op counts concurrently: the kernel's row
+// workers, the pool, and the wire layer all add into the same
+// per-request meter. Writes are single atomic adds; producers should
+// batch locally and Add once per phase where possible so metering stays
+// off the hot path.
+type CostMeter struct {
+	modExps        atomic.Uint64
+	mulMods        atomic.Uint64
+	modInverses    atomic.Uint64
+	rerands        atomic.Uint64
+	poolHits       atomic.Uint64
+	poolMisses     atomic.Uint64
+	encrypts       atomic.Uint64
+	decrypts       atomic.Uint64
+	cipherBytesIn  atomic.Uint64
+	cipherBytesOut atomic.Uint64
+}
+
+// Add accumulates a batch of counts into the meter. A nil meter is a
+// no-op so unmetered paths pay only the nil check.
+func (m *CostMeter) Add(st CostStats) {
+	if m == nil {
+		return
+	}
+	for _, f := range costFields {
+		if v := f.Get(&st); v != 0 {
+			f.Add(m, v)
+		}
+	}
+}
+
+// Snapshot reads the meter's current totals.
+func (m *CostMeter) Snapshot() CostStats {
+	if m == nil {
+		return CostStats{}
+	}
+	return CostStats{
+		ModExps:        m.modExps.Load(),
+		MulMods:        m.mulMods.Load(),
+		ModInverses:    m.modInverses.Load(),
+		Rerands:        m.rerands.Load(),
+		PoolHits:       m.poolHits.Load(),
+		PoolMisses:     m.poolMisses.Load(),
+		Encrypts:       m.encrypts.Load(),
+		Decrypts:       m.decrypts.Load(),
+		CipherBytesIn:  m.cipherBytesIn.Load(),
+		CipherBytesOut: m.cipherBytesOut.Load(),
+	}
+}
+
+// Diff returns the counts accumulated since a previous snapshot —
+// the per-layer attribution pattern: snapshot, run the layer, Diff.
+func (m *CostMeter) Diff(prev CostStats) CostStats {
+	cur := m.Snapshot()
+	return CostStats{
+		ModExps:        cur.ModExps - prev.ModExps,
+		MulMods:        cur.MulMods - prev.MulMods,
+		ModInverses:    cur.ModInverses - prev.ModInverses,
+		Rerands:        cur.Rerands - prev.Rerands,
+		PoolHits:       cur.PoolHits - prev.PoolHits,
+		PoolMisses:     cur.PoolMisses - prev.PoolMisses,
+		Encrypts:       cur.Encrypts - prev.Encrypts,
+		Decrypts:       cur.Decrypts - prev.Decrypts,
+		CipherBytesIn:  cur.CipherBytesIn - prev.CipherBytesIn,
+		CipherBytesOut: cur.CipherBytesOut - prev.CipherBytesOut,
+	}
+}
+
+// AddCostToRegistry folds a cost profile into reg's "cost.<field>"
+// counters — the process-wide aggregate both the JSON snapshot and the
+// Prometheus exposition serve. Registry counters are get-or-create, so
+// the counters exist from the first request on.
+func AddCostToRegistry(reg *Registry, st CostStats) {
+	if reg == nil {
+		return
+	}
+	for _, f := range costFields {
+		if v := f.Get(&st); v != 0 {
+			reg.Counter("cost." + f.Name).Add(v)
+		}
+	}
+}

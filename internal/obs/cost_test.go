@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCostMeterAddSnapshotDiff(t *testing.T) {
+	var m CostMeter
+	m.Add(CostStats{ModExps: 3, MulMods: 10, CipherBytesIn: 128})
+	m.Add(CostStats{ModExps: 2, PoolHits: 4, PoolMisses: 1, Rerands: 5})
+
+	st := m.Snapshot()
+	want := CostStats{ModExps: 5, MulMods: 10, Rerands: 5, PoolHits: 4, PoolMisses: 1, CipherBytesIn: 128}
+	if st != want {
+		t.Fatalf("snapshot = %+v, want %+v", st, want)
+	}
+
+	prev := st
+	m.Add(CostStats{Encrypts: 7, Decrypts: 2, CipherBytesOut: 64})
+	d := m.Diff(prev)
+	wantDiff := CostStats{Encrypts: 7, Decrypts: 2, CipherBytesOut: 64}
+	if d != wantDiff {
+		t.Fatalf("diff = %+v, want %+v", d, wantDiff)
+	}
+}
+
+func TestCostMeterNilSafe(t *testing.T) {
+	var m *CostMeter
+	m.Add(CostStats{ModExps: 1}) // must not panic
+	if st := m.Snapshot(); !st.IsZero() {
+		t.Fatalf("nil meter snapshot = %+v, want zero", st)
+	}
+}
+
+func TestCostMeterConcurrentAdds(t *testing.T) {
+	var m CostMeter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(CostStats{ModExps: 1, MulMods: 2, CipherBytesOut: 3})
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	if st.ModExps != workers*per || st.MulMods != 2*workers*per || st.CipherBytesOut != 3*workers*per {
+		t.Fatalf("concurrent totals wrong: %+v", st)
+	}
+}
+
+// TestCostFieldsCoverStruct pins the single-source-of-truth property: every
+// CostStats struct field must appear in costFields exactly once, carry a
+// json tag matching the field's canonical name, and round-trip through
+// Get/Add.
+func TestCostFieldsCoverStruct(t *testing.T) {
+	typ := reflect.TypeOf(CostStats{})
+	if typ.NumField() != len(costFields) {
+		t.Fatalf("CostStats has %d fields but costFields lists %d", typ.NumField(), len(costFields))
+	}
+	byName := map[string]CostField{}
+	for _, f := range costFields {
+		if f.Name != strings.ToLower(f.Name) {
+			t.Errorf("cost field name %q is not lowercase", f.Name)
+		}
+		if _, dup := byName[f.Name]; dup {
+			t.Errorf("cost field %q listed twice", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		sf := typ.Field(i)
+		tag := strings.Split(sf.Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			t.Errorf("CostStats.%s has no json tag", sf.Name)
+			continue
+		}
+		f, ok := byName[tag]
+		if !ok {
+			t.Errorf("CostStats.%s (json %q) missing from costFields", sf.Name, tag)
+			continue
+		}
+		// Round-trip: Add through the meter, read back through Get.
+		var m CostMeter
+		f.Add(&m, 41)
+		st := m.Snapshot()
+		if got := f.Get(&st); got != 41 {
+			t.Errorf("field %q Add/Get mismatch: got %d, want 41", tag, got)
+		}
+	}
+}
+
+func TestCostStatsJSONFieldNames(t *testing.T) {
+	st := CostStats{ModExps: 1, MulMods: 1, ModInverses: 1, Rerands: 1,
+		PoolHits: 1, PoolMisses: 1, Encrypts: 1, Decrypts: 1,
+		CipherBytesIn: 1, CipherBytesOut: 1}
+	raw, err := json.Marshal(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]uint64
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range costFields {
+		if decoded[f.Name] != 1 {
+			t.Errorf("JSON output missing cost field %q: %s", f.Name, raw)
+		}
+	}
+}
+
+func TestAddCostToRegistry(t *testing.T) {
+	reg := NewRegistry("costtest")
+	AddCostToRegistry(reg, CostStats{ModExps: 9, PoolHits: 3, CipherBytesIn: 77})
+	AddCostToRegistry(reg, CostStats{ModExps: 1})
+	snap := reg.Snapshot()
+	if got := snap.Counters["cost.modexps"]; got != 10 {
+		t.Fatalf("cost.modexps = %d, want 10", got)
+	}
+	if got := snap.Counters["cost.pool_hits"]; got != 3 {
+		t.Fatalf("cost.pool_hits = %d, want 3", got)
+	}
+	if got := snap.Counters["cost.cipher_bytes_in"]; got != 77 {
+		t.Fatalf("cost.cipher_bytes_in = %d, want 77", got)
+	}
+	AddCostToRegistry(nil, CostStats{ModExps: 1}) // must not panic
+}
+
+func TestPoolHitRate(t *testing.T) {
+	st := CostStats{}
+	if got := st.PoolHitRate(); got != -1 {
+		t.Fatalf("empty hit rate = %v, want -1", got)
+	}
+	st = CostStats{PoolHits: 3, PoolMisses: 1}
+	if got := st.PoolHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestCostStatsString(t *testing.T) {
+	var zero CostStats
+	if got := zero.String(); got != "-" {
+		t.Fatalf("zero String() = %q, want -", got)
+	}
+	st := CostStats{ModExps: 2, PoolHits: 1, PoolMisses: 1}
+	s := st.String()
+	for _, want := range []string{"modexps=2", "pool_hits=1", "pool_hit_rate=0.50"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestTraceTreeCostAndRender(t *testing.T) {
+	tree := &TraceTree{
+		ID:    "abc",
+		Total: 100,
+		Segments: []Segment{
+			{Party: "server", Name: "kernel", Round: 0, Dur: 50,
+				Cost: &CostStats{ModExps: 4, MulMods: 100}},
+			{Party: "client", Name: "encrypt", Round: -1, Dur: 30,
+				Cost: &CostStats{Encrypts: 8}},
+			{Party: "wire", Name: "wire", Round: 0, Dur: 20},
+		},
+	}
+	total := tree.Cost()
+	if total.ModExps != 4 || total.MulMods != 100 || total.Encrypts != 8 {
+		t.Fatalf("tree cost = %+v", total)
+	}
+	out := RenderTree(tree)
+	for _, want := range []string{"cost: modexps=4 mulmods=100", "cost: encrypts=8", "request cost:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderTree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewTraceIDFallback(t *testing.T) {
+	old := traceRandom
+	defer func() { traceRandom = old }()
+
+	traceRandom = failReader{}
+	id := NewTraceID()
+	if !strings.HasPrefix(id, "fb") || len(id) != 16 {
+		t.Fatalf("fallback ID = %q, want fb-prefixed 16 chars", id)
+	}
+	id2 := NewTraceID()
+	if id2 == id {
+		t.Fatalf("fallback IDs must stay unique, got %q twice", id)
+	}
+
+	traceRandom = strings.NewReader("abc") // short read
+	if id := NewTraceID(); !strings.HasPrefix(id, "fb") {
+		t.Fatalf("short-read ID = %q, want fallback", id)
+	}
+
+	traceRandom = old
+	id = NewTraceID()
+	if len(id) != 16 || strings.HasPrefix(id, "fb") {
+		t.Fatalf("normal ID = %q, want 16 hex chars", id)
+	}
+}
+
+type failReader struct{}
+
+func (failReader) Read([]byte) (int, error) { return 0, errFail }
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "entropy unavailable" }

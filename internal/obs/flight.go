@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file holds the flight recorder: bounded in-memory rings of
+// recently completed request traces (with their crypto-cost profiles)
+// that a live process dumps on demand — /debug/flight over HTTP, SIGQUIT
+// on the console — so the question "what did the last requests actually
+// do" is answerable after the fact without having had tracing output
+// enabled. Three views are kept: the last-N completed traces, the
+// slowest-K traces seen so far, and every errored trace (bounded, newest
+// wins), because the interesting request is rarely still in the
+// last-N window by the time someone looks.
+
+// FlightRecord is one recorded request: its merged trace tree, the
+// wall-clock completion time, and the error text for failed requests.
+type FlightRecord struct {
+	// When is the completion timestamp.
+	When time.Time `json:"when"`
+	// Trace is the request's merged cross-party trace (segments carry
+	// their cost annotations). Never nil.
+	Trace *TraceTree `json:"trace"`
+	// Err is the failure, empty for successful requests.
+	Err string `json:"err,omitempty"`
+}
+
+// FlightDump is the JSON document /debug/flight and the SIGQUIT handler
+// emit.
+type FlightDump struct {
+	// Recorded counts every Record call since construction, including
+	// those that have since rotated out of the rings.
+	Recorded uint64 `json:"recorded"`
+	// Recent is the last-N completed traces, oldest first.
+	Recent []FlightRecord `json:"recent"`
+	// Slowest is the K slowest traces seen so far, slowest first.
+	Slowest []FlightRecord `json:"slowest"`
+	// Errors is the most recent errored traces, oldest first.
+	Errors []FlightRecord `json:"errors"`
+}
+
+// Flight ring-size defaults, used when NewFlightRecorder receives
+// non-positive sizes.
+const (
+	DefaultFlightRecent  = 64
+	DefaultFlightSlowest = 16
+	DefaultFlightErrors  = 64
+)
+
+// FlightRecorder keeps the bounded trace rings. Safe for concurrent
+// Record and Dump calls; Record is a short critical section (no
+// allocation beyond the record itself), so it stays off the request
+// hot path's contention profile.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	recorded uint64
+	recent   ring
+	errors   ring
+	slowest  []FlightRecord // max-K, unsorted; smallest evicted on insert
+	slowCap  int
+}
+
+// ring is a fixed-capacity FIFO of flight records.
+type ring struct {
+	buf   []FlightRecord
+	next  int
+	count int
+}
+
+func (r *ring) push(rec FlightRecord) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// list returns the ring's records oldest first.
+func (r *ring) list() []FlightRecord {
+	out := make([]FlightRecord, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// NewFlightRecorder creates a recorder holding the last recentN completed
+// traces, the slowestK slowest traces, and the last errorsN errored
+// traces. Non-positive sizes take the DefaultFlight* values.
+func NewFlightRecorder(recentN, slowestK, errorsN int) *FlightRecorder {
+	if recentN <= 0 {
+		recentN = DefaultFlightRecent
+	}
+	if slowestK <= 0 {
+		slowestK = DefaultFlightSlowest
+	}
+	if errorsN <= 0 {
+		errorsN = DefaultFlightErrors
+	}
+	return &FlightRecorder{
+		recent:  ring{buf: make([]FlightRecord, recentN)},
+		errors:  ring{buf: make([]FlightRecord, errorsN)},
+		slowest: make([]FlightRecord, 0, slowestK),
+		slowCap: slowestK,
+	}
+}
+
+// Record adds one completed request. A nil tree is ignored (nothing to
+// show); err non-nil routes the record into the error ring as well. A
+// nil recorder is a no-op so unconfigured paths need no guard.
+func (f *FlightRecorder) Record(tree *TraceTree, err error) {
+	if f == nil || tree == nil {
+		return
+	}
+	rec := FlightRecord{When: time.Now(), Trace: tree}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recorded++
+	f.recent.push(rec)
+	if rec.Err != "" {
+		f.errors.push(rec)
+	}
+	if len(f.slowest) < f.slowCap {
+		f.slowest = append(f.slowest, rec)
+		return
+	}
+	// Evict the fastest of the keepers if this one is slower.
+	min := 0
+	for i := 1; i < len(f.slowest); i++ {
+		if f.slowest[i].Trace.Total < f.slowest[min].Trace.Total {
+			min = i
+		}
+	}
+	if tree.Total > f.slowest[min].Trace.Total {
+		f.slowest[min] = rec
+	}
+}
+
+// Recorded returns the total number of Record calls.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recorded
+}
+
+// Dump snapshots the rings. Slowest is sorted slowest-first; the other
+// views are oldest-first.
+func (f *FlightRecorder) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	f.mu.Lock()
+	dump := FlightDump{
+		Recorded: f.recorded,
+		Recent:   f.recent.list(),
+		Errors:   f.errors.list(),
+		Slowest:  append([]FlightRecord(nil), f.slowest...),
+	}
+	f.mu.Unlock()
+	sort.Slice(dump.Slowest, func(i, j int) bool {
+		return dump.Slowest[i].Trace.Total > dump.Slowest[j].Trace.Total
+	})
+	return dump
+}
+
+// WriteJSON writes the dump as indented JSON. Encoder errors (a closed
+// HTTP connection, a full pipe) are returned, never ignored, so the
+// erraudit gate stays meaningful for this path.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f.Dump()); err != nil {
+		return fmt.Errorf("obs: encoding flight dump: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func flightTree(id string, total time.Duration) *TraceTree {
+	return &TraceTree{
+		ID:    id,
+		Total: total,
+		Segments: []Segment{{
+			Party: "server", Name: "kernel", Round: 0, Dur: total,
+			Cost: &CostStats{ModExps: 3, MulMods: 7},
+		}},
+	}
+}
+
+func TestFlightRecorderRings(t *testing.T) {
+	f := NewFlightRecorder(3, 2, 2)
+	for i := 0; i < 5; i++ {
+		var err error
+		if i%2 == 1 {
+			err = fmt.Errorf("boom %d", i)
+		}
+		f.Record(flightTree(fmt.Sprintf("t%d", i), time.Duration(i+1)*time.Millisecond), err)
+	}
+	d := f.Dump()
+	if d.Recorded != 5 {
+		t.Fatalf("recorded = %d, want 5", d.Recorded)
+	}
+	// Recent keeps the last 3, oldest first.
+	wantRecent := []string{"t2", "t3", "t4"}
+	if len(d.Recent) != len(wantRecent) {
+		t.Fatalf("recent = %d records, want %d", len(d.Recent), len(wantRecent))
+	}
+	for i, want := range wantRecent {
+		if d.Recent[i].Trace.ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, d.Recent[i].Trace.ID, want)
+		}
+	}
+	// Slowest keeps the 2 largest totals, slowest first.
+	if len(d.Slowest) != 2 || d.Slowest[0].Trace.ID != "t4" || d.Slowest[1].Trace.ID != "t3" {
+		t.Errorf("slowest ring wrong: %+v", idsOf(d.Slowest))
+	}
+	// Errors holds the last 2 errored traces (t1, t3), oldest first.
+	if len(d.Errors) != 2 || d.Errors[0].Trace.ID != "t1" || d.Errors[1].Trace.ID != "t3" {
+		t.Errorf("error ring wrong: %+v", idsOf(d.Errors))
+	}
+	for _, rec := range d.Errors {
+		if !strings.HasPrefix(rec.Err, "boom") {
+			t.Errorf("error record lost its message: %q", rec.Err)
+		}
+	}
+	// Cost profiles survive the rings.
+	if c := d.Recent[0].Trace.Cost(); c.ModExps != 3 || c.MulMods != 7 {
+		t.Errorf("recent record lost cost profile: %+v", c)
+	}
+}
+
+func idsOf(recs []FlightRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Trace.ID
+	}
+	return out
+}
+
+func TestFlightRecorderSlowestEviction(t *testing.T) {
+	f := NewFlightRecorder(8, 2, 2)
+	f.Record(flightTree("slow", 100*time.Millisecond), nil)
+	f.Record(flightTree("mid", 50*time.Millisecond), nil)
+	// Faster than both keepers: must not evict.
+	f.Record(flightTree("fast", 1*time.Millisecond), nil)
+	d := f.Dump()
+	if got := idsOf(d.Slowest); len(got) != 2 || got[0] != "slow" || got[1] != "mid" {
+		t.Fatalf("slowest = %v, want [slow mid]", got)
+	}
+	// Slower than the fastest keeper: evicts it.
+	f.Record(flightTree("slower", 75*time.Millisecond), nil)
+	d = f.Dump()
+	if got := idsOf(d.Slowest); len(got) != 2 || got[0] != "slow" || got[1] != "slower" {
+		t.Fatalf("slowest after eviction = %v, want [slow slower]", got)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(flightTree("x", time.Millisecond), nil) // must not panic
+	if f.Recorded() != 0 {
+		t.Error("nil recorder recorded something")
+	}
+	d := f.Dump()
+	if d.Recorded != 0 || d.Recent != nil {
+		t.Errorf("nil recorder dump not empty: %+v", d)
+	}
+	// A live recorder ignores nil trees.
+	live := NewFlightRecorder(2, 2, 2)
+	live.Record(nil, errors.New("no tree"))
+	if live.Recorded() != 0 {
+		t.Error("nil tree was recorded")
+	}
+}
+
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, -1, 0)
+	for i := 0; i < DefaultFlightRecent+5; i++ {
+		f.Record(flightTree(fmt.Sprintf("t%d", i), time.Duration(i+1)), nil)
+	}
+	d := f.Dump()
+	if len(d.Recent) != DefaultFlightRecent {
+		t.Errorf("recent capacity = %d, want default %d", len(d.Recent), DefaultFlightRecent)
+	}
+	if len(d.Slowest) != DefaultFlightSlowest {
+		t.Errorf("slowest capacity = %d, want default %d", len(d.Slowest), DefaultFlightSlowest)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record, Dump, and the
+// /debug/flight HTTP endpoint from concurrent goroutines; run under
+// -race this is the recorder's thread-safety gate.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16, 4, 8)
+	handler := HandlerOpts(HTTPOptions{Flight: f}, NewRegistry("flight-concurrent"))
+
+	const writers, perWriter, readers = 8, 200, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				var err error
+				if i%17 == 0 {
+					err = errors.New("synthetic failure")
+				}
+				f.Record(flightTree(fmt.Sprintf("w%d-%d", w, i), time.Duration(i+1)*time.Microsecond), err)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := f.Dump()
+				if len(d.Recent) > 16 || len(d.Slowest) > 4 || len(d.Errors) > 8 {
+					t.Errorf("dump exceeded ring bounds: recent=%d slowest=%d errors=%d",
+						len(d.Recent), len(d.Slowest), len(d.Errors))
+					return
+				}
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+				if rr.Code != 200 {
+					t.Errorf("/debug/flight status %d", rr.Code)
+					return
+				}
+				var dump FlightDump
+				if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+					t.Errorf("/debug/flight not valid JSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Recorded(); got != writers*perWriter {
+		t.Errorf("recorded = %d, want %d", got, writers*perWriter)
+	}
+	d := f.Dump()
+	if len(d.Recent) != 16 || len(d.Slowest) != 4 || len(d.Errors) != 8 {
+		t.Errorf("final rings not full: recent=%d slowest=%d errors=%d",
+			len(d.Recent), len(d.Slowest), len(d.Errors))
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("pipe closed") }
+
+func TestFlightWriteJSONError(t *testing.T) {
+	f := NewFlightRecorder(2, 2, 2)
+	f.Record(flightTree("t0", time.Millisecond), nil)
+	err := f.WriteJSON(failWriter{})
+	if err == nil {
+		t.Fatal("WriteJSON swallowed the writer error")
+	}
+	if !strings.Contains(err.Error(), "flight dump") {
+		t.Errorf("error not wrapped with context: %v", err)
+	}
+}
+
+func TestFlightHTTPNotMountedWithoutRecorder(t *testing.T) {
+	handler := Handler(NewRegistry("no-flight"))
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rr.Code != 404 {
+		t.Errorf("/debug/flight without a recorder: status %d, want 404", rr.Code)
+	}
+}

@@ -16,6 +16,9 @@ type HTTPOptions struct {
 	// while Ready() is true (503 otherwise). /healthz is liveness and
 	// always answers 200. A nil Ready leaves /readyz always-ready.
 	Ready func() bool
+	// Flight, when non-nil, mounts /debug/flight serving the recorder's
+	// JSON dump (recent, slowest, and errored traces with cost profiles).
+	Flight *FlightRecorder
 }
 
 // Handler serves the registries' snapshots at /metrics (and /) — JSON
@@ -101,6 +104,16 @@ func HandlerOpts(opts HTTPOptions, regs ...*Registry) http.Handler {
 		}
 		metrics(w, req)
 	})
+	if opts.Flight != nil {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := opts.Flight.WriteJSON(w); err != nil {
+				// Headers are likely already out; nothing to do for the
+				// client beyond noting the failure in the status if possible.
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file holds the continuous-profiling capture loop: a background
+// goroutine that periodically writes labeled CPU profiles and heap
+// snapshots into a directory, so a long-running server accumulates a
+// trail of profiles without anyone attaching `go tool pprof` at the
+// right moment. Samples carry the pprof labels set around pipeline
+// stages and server rounds (stage, round, trace), so captured CPU time
+// splits by protocol phase out of the box.
+
+// ProfileLoopOptions configures StartProfileLoop.
+type ProfileLoopOptions struct {
+	// Dir receives the profile files. Created if missing.
+	Dir string
+	// Every is the capture period. Non-positive defaults to 1 minute.
+	Every time.Duration
+	// CPUDuration is how long each CPU profile samples. Non-positive
+	// defaults to 10s; capped at Every/2 so captures never overlap.
+	CPUDuration time.Duration
+	// Keep bounds how many capture generations (one CPU + one heap file
+	// each) are retained; older files are pruned. Non-positive keeps 16.
+	Keep int
+	// Log, when non-nil, receives capture failures (disk full, another
+	// CPU profile already running). Failures never stop the loop.
+	Log *Logger
+}
+
+const (
+	defaultProfileEvery = time.Minute
+	defaultProfileCPU   = 10 * time.Second
+	defaultProfileKeep  = 16
+)
+
+// StartProfileLoop begins periodic profile capture and returns a stop
+// function that halts the loop and waits for an in-flight capture to
+// finish. The first capture happens after one period, not immediately.
+func StartProfileLoop(opts ProfileLoopOptions) (func(), error) {
+	if opts.Every <= 0 {
+		opts.Every = defaultProfileEvery
+	}
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = defaultProfileCPU
+	}
+	if opts.CPUDuration > opts.Every/2 {
+		opts.CPUDuration = opts.Every / 2
+	}
+	if opts.Keep <= 0 {
+		opts.Keep = defaultProfileKeep
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating profile dir: %w", err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(opts.Every)
+		defer ticker.Stop()
+		gen := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			gen++
+			stamp := time.Now().UTC().Format("20060102T150405")
+			if err := captureCPU(filepath.Join(opts.Dir, "cpu-"+stamp+".pprof"), opts.CPUDuration, stop); err != nil {
+				opts.Log.Warn("cpu profile capture failed", "err", err.Error())
+			}
+			if err := captureHeap(filepath.Join(opts.Dir, "heap-"+stamp+".pprof")); err != nil {
+				opts.Log.Warn("heap profile capture failed", "err", err.Error())
+			}
+			if err := pruneProfiles(opts.Dir, opts.Keep); err != nil {
+				opts.Log.Warn("profile prune failed", "err", err.Error())
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}, nil
+}
+
+// captureCPU samples the CPU profile for dur into path. An early stop
+// signal ends the sample short rather than blocking shutdown.
+func captureCPU(path string, dur time.Duration, stop <-chan struct{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("obs: starting cpu profile: %w", err)
+	}
+	select {
+	case <-time.After(dur):
+	case <-stop:
+	}
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: closing cpu profile: %w", err)
+	}
+	return nil
+}
+
+func captureHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating heap profile: %w", err)
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("obs: writing heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: closing heap profile: %w", err)
+	}
+	return nil
+}
+
+// pruneProfiles deletes the oldest capture files beyond keep generations
+// per kind (cpu-, heap-). Timestamped names sort chronologically, so a
+// lexical sort is a time sort.
+func pruneProfiles(dir string, keep int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("obs: reading profile dir: %w", err)
+	}
+	byKind := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "cpu-"):
+			byKind["cpu"] = append(byKind["cpu"], name)
+		case strings.HasPrefix(name, "heap-"):
+			byKind["heap"] = append(byKind["heap"], name)
+		}
+	}
+	var firstErr error
+	for _, names := range byKind {
+		sort.Strings(names)
+		for len(names) > keep {
+			if err := os.Remove(filepath.Join(dir, names[0])); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: pruning profile: %w", err)
+			}
+			names = names[1:]
+		}
+	}
+	return firstErr
+}

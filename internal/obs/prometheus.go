@@ -41,23 +41,70 @@ func promEscapeLabel(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
+// promFamily is one metric family: a single # TYPE line followed by
+// every registry's samples for that metric name. The exposition format
+// allows at most one TYPE line per metric name and requires all of a
+// metric's samples to be contiguous, so families are collected across
+// registries before anything is written.
+type promFamily struct {
+	typ   string // "counter", "gauge", or "histogram"
+	lines []string
+}
+
 // WritePrometheus renders every registry in Prometheus text format.
 // Counters and gauges map directly; each latency histogram becomes a
 // Prometheus histogram with cumulative le-buckets in seconds plus _sum
-// and _count series.
+// and _count series. Samples from different registries sharing a metric
+// name are grouped under one # TYPE line (distinguished by the registry
+// label); exposing one name with conflicting types is an error — the
+// scrape would be rejected — and is reported instead of emitted.
 func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	fams := map[string]*promFamily{}
+	add := func(name, typ string, lines ...string) error {
+		f, ok := fams[name]
+		if !ok {
+			fams[name] = &promFamily{typ: typ, lines: lines}
+			return nil
+		}
+		if f.typ != typ {
+			return fmt.Errorf("obs: metric %s exposed as both %s and %s across registries", name, f.typ, typ)
+		}
+		f.lines = append(f.lines, lines...)
+		return nil
+	}
 	for _, r := range regs {
-		if err := r.writePrometheus(w); err != nil {
+		if err := r.collectPrometheus(add); err != nil {
 			return err
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (r *Registry) writePrometheus(w io.Writer) error {
+// collectPrometheus renders the registry's samples into family lines via
+// add, holding the registry lock only while reading.
+func (r *Registry) collectPrometheus(add func(name, typ string, lines ...string) error) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	label := fmt.Sprintf(`{registry=%q}`, promEscapeLabel(r.name))
+	// promEscapeLabel already produces exposition-format escaping; %q
+	// would escape the escapes (registry="quo\\\"te"), so build the label
+	// with plain quoting.
+	label := `{registry="` + promEscapeLabel(r.name) + `"}`
 
 	names := make([]string, 0, len(r.counters))
 	for name := range r.counters {
@@ -66,7 +113,7 @@ func (r *Registry) writePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		m := "ppstream_" + promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", m, m, label, r.counters[name].Value()); err != nil {
+		if err := add(m, "counter", fmt.Sprintf("%s%s %d\n", m, label, r.counters[name].Value())); err != nil {
 			return err
 		}
 	}
@@ -89,7 +136,7 @@ func (r *Registry) writePrometheus(w io.Writer) error {
 			v = r.gaugeFuncs[name]()
 		}
 		m := "ppstream_" + promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", m, m, label, v); err != nil {
+		if err := add(m, "gauge", fmt.Sprintf("%s%s %d\n", m, label, v)); err != nil {
 			return err
 		}
 	}
@@ -100,21 +147,20 @@ func (r *Registry) writePrometheus(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := r.hists[name].writePrometheus(w, "ppstream_"+promName(name)+"_seconds", r.name); err != nil {
+		m := "ppstream_" + promName(name) + "_seconds"
+		if err := add(m, "histogram", r.hists[name].promLines(m, r.name)...); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writePrometheus renders the histogram's cumulative buckets. Bounds
-// are converted from nanoseconds to seconds; the overflow bucket maps
-// to le="+Inf".
-func (h *Histogram) writePrometheus(w io.Writer, metric, registry string) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
-		return err
-	}
+// promLines renders the histogram's cumulative buckets as exposition
+// lines. Bounds are converted from nanoseconds to seconds; the overflow
+// bucket maps to le="+Inf".
+func (h *Histogram) promLines(metric, registry string) []string {
 	reg := promEscapeLabel(registry)
+	lines := make([]string, 0, len(h.buckets)+2)
 	var cum uint64
 	for i := range h.buckets {
 		cum += h.buckets[i].Load()
@@ -122,11 +168,10 @@ func (h *Histogram) writePrometheus(w io.Writer, metric, registry string) error 
 		if i < len(h.bounds) {
 			le = fmt.Sprintf("%g", float64(h.bounds[i])/1e9)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{registry=%q,le=%q} %d\n", metric, reg, le, cum); err != nil {
-			return err
-		}
+		lines = append(lines, fmt.Sprintf("%s_bucket{registry=\"%s\",le=\"%s\"} %d\n", metric, reg, le, cum))
 	}
-	_, err := fmt.Fprintf(w, "%s_sum{registry=%q} %g\n%s_count{registry=%q} %d\n",
-		metric, reg, float64(h.sum.Load())/1e9, metric, reg, h.count.Load())
-	return err
+	lines = append(lines,
+		fmt.Sprintf("%s_sum{registry=\"%s\"} %g\n", metric, reg, float64(h.sum.Load())/1e9),
+		fmt.Sprintf("%s_count{registry=\"%s\"} %d\n", metric, reg, h.count.Load()))
+	return lines
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -22,10 +23,18 @@ import (
 // IDs stay unique within the process, which is all correlation needs.
 var traceFallback atomic.Uint64
 
-// NewTraceID returns a 16-hex-character request trace identifier.
+// traceRandom is the entropy source for trace IDs, a variable so tests
+// can exercise the failure path. It is read once at ID generation; a
+// short or failed read falls back to the process-unique counter, so
+// NewTraceID never panics and never blocks on a broken entropy source.
+var traceRandom io.Reader = rand.Reader
+
+// NewTraceID returns a 16-hex-character request trace identifier. Under
+// entropy failure it degrades to a process-unique "fb"-prefixed counter
+// ID rather than failing: trace IDs need correlation, not secrecy.
 func NewTraceID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
+	if n, err := io.ReadFull(traceRandom, b[:]); err != nil || n != len(b) {
 		return fmt.Sprintf("fb%014x", traceFallback.Add(1))
 	}
 	return hex.EncodeToString(b[:])
@@ -41,6 +50,10 @@ type Segment struct {
 	Name  string        `json:"name"`
 	Round int           `json:"round"`
 	Dur   time.Duration `json:"dur_ns"`
+	// Cost, when non-nil, is the crypto-cost profile attributed to this
+	// segment (modexps, ciphertext bytes, pool hit rate, ...), so the
+	// tree explains why the segment took its duration.
+	Cost *CostStats `json:"cost,omitempty"`
 }
 
 // Label renders the per-party segment name the breakdown tables group
@@ -102,6 +115,21 @@ func (t *TraceTree) SegmentTotal(label string) time.Duration {
 		}
 	}
 	return d
+}
+
+// Cost sums every segment's crypto-cost profile: the request's total
+// accounting across both parties.
+func (t *TraceTree) Cost() CostStats {
+	var total CostStats
+	if t == nil {
+		return total
+	}
+	for _, s := range t.Segments {
+		if s.Cost != nil {
+			total.Add(*s.Cost)
+		}
+	}
+	return total
 }
 
 // Parties returns the distinct parties appearing in the tree.
@@ -246,9 +274,15 @@ func RenderTree(t *TraceTree) string {
 			round = fmt.Sprint(s.Round)
 		}
 		fmt.Fprintf(&b, "  %-18s round %-3s %10s\n", s.Label(), round, fmtTraceDur(s.Dur))
+		if s.Cost != nil && !s.Cost.IsZero() {
+			fmt.Fprintf(&b, "    cost: %s\n", s.Cost.String())
+		}
 	}
 	if rem := t.Total - t.Sum(); rem > 0 {
 		fmt.Fprintf(&b, "  %-18s %19s\n", "(unattributed)", fmtTraceDur(rem))
+	}
+	if total := t.Cost(); !total.IsZero() {
+		fmt.Fprintf(&b, "  request cost: %s\n", total.String())
 	}
 	return b.String()
 }

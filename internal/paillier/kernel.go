@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ppstream/internal/obs"
 )
 
 // ColumnUse records how a linear layer uses one input column: whether any
@@ -59,6 +61,14 @@ func weightMagnitude(w int64) uint64 {
 // NewRandBlinder computes them inline.
 type Blinder interface {
 	Blinding() (*big.Int, error)
+}
+
+// trackedBlinder is the optional Blinder extension cost accounting uses:
+// it additionally reports whether the factor came precomputed (a pool
+// hit) or had to be exponentiated inline (a miss on the critical path).
+// Pool implements it.
+type trackedBlinder interface {
+	BlindingTracked() (rn *big.Int, pooled bool, err error)
 }
 
 type randBlinder struct {
@@ -94,6 +104,11 @@ type Evaluator struct {
 	blinder Blinder
 	window  uint
 	metrics atomic.Pointer[KernelMetrics]
+	// cost, when non-nil, accumulates the crypto-op counts of every kernel
+	// and blinding operation run through this evaluator. Per-request
+	// attribution derives a metered view with WithCost rather than mutating
+	// a shared evaluator.
+	cost *obs.CostMeter
 }
 
 // EvalOption configures an Evaluator.
@@ -108,6 +123,9 @@ func WithWindow(w uint) EvalOption { return func(ev *Evaluator) { ev.window = w 
 
 // WithMetrics sets the kernel timing callbacks.
 func WithMetrics(m KernelMetrics) EvalOption { return func(ev *Evaluator) { ev.metrics.Store(&m) } }
+
+// WithCostMeter attaches a crypto-op cost meter at construction.
+func WithCostMeter(m *obs.CostMeter) EvalOption { return func(ev *Evaluator) { ev.cost = m } }
 
 // NewEvaluator creates an evaluator for the given public key.
 func NewEvaluator(pk *PublicKey, opts ...EvalOption) *Evaluator {
@@ -128,8 +146,54 @@ func (ev *Evaluator) PublicKey() *PublicKey { return ev.pk }
 // kernels are running.
 func (ev *Evaluator) SetMetrics(m KernelMetrics) { ev.metrics.Store(&m) }
 
-// Blinding returns one fresh r^n factor from the evaluator's supply.
-func (ev *Evaluator) Blinding() (*big.Int, error) { return ev.blinder.Blinding() }
+// WithCost derives an evaluator that shares this one's key, blinding
+// supply, window, and timing callbacks but accumulates crypto-op counts
+// into m. Sessions keep one shared evaluator and derive a metered view
+// per request, so concurrent requests never bleed counts into each other.
+func (ev *Evaluator) WithCost(m *obs.CostMeter) *Evaluator {
+	d := &Evaluator{pk: ev.pk, blinder: ev.blinder, window: ev.window, cost: m}
+	if km := ev.metrics.Load(); km != nil {
+		d.metrics.Store(km)
+	}
+	return d
+}
+
+// CostMeter returns the attached cost meter, nil when unmetered.
+func (ev *Evaluator) CostMeter() *obs.CostMeter {
+	if ev == nil {
+		return nil
+	}
+	return ev.cost
+}
+
+// Blinding returns one fresh r^n factor from the evaluator's supply,
+// counting the re-randomization (and pool hit/miss) into the cost meter.
+func (ev *Evaluator) Blinding() (*big.Int, error) {
+	rn, pooled, err := ev.blinding()
+	if err != nil {
+		return nil, err
+	}
+	if ev.cost != nil {
+		st := obs.CostStats{Rerands: 1}
+		if pooled {
+			st.PoolHits = 1
+		} else {
+			st.PoolMisses = 1
+			st.ModExps = 1 // inline r^n exponentiation on the critical path
+		}
+		ev.cost.Add(st)
+	}
+	return rn, nil
+}
+
+// blinding draws one factor and reports whether it was precomputed.
+func (ev *Evaluator) blinding() (*big.Int, bool, error) {
+	if tb, ok := ev.blinder.(trackedBlinder); ok {
+		return tb.BlindingTracked()
+	}
+	rn, err := ev.blinder.Blinding()
+	return rn, false, err
+}
 
 // maxWindow bounds table memory: 2^6−1 entries per used side per input.
 const maxWindow = 6
@@ -231,6 +295,22 @@ func (ev *Evaluator) NewLinearKernel(xs []*Ciphertext, use []ColumnUse, rows, ma
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if ev.cost != nil {
+		// The preprocessing cost is deterministic in the usage map: each
+		// built table is tableLen−1 modular multiplications, each negative
+		// side one modular inversion on top.
+		var st obs.CostStats
+		for _, u := range use {
+			if u&UsePos != 0 {
+				st.MulMods += uint64(tableLen - 1)
+			}
+			if u&UseNeg != 0 {
+				st.ModInverses++
+				st.MulMods += uint64(tableLen - 1)
+			}
+		}
+		ev.cost.Add(st)
+	}
 	if m := ev.metrics.Load(); m != nil && m.Precompute != nil {
 		m.Precompute(time.Since(start))
 	}
@@ -268,6 +348,9 @@ func (k *LinearKernel) Dot(idx []int, ws []int64, bias *big.Int) (*Ciphertext, e
 			maxBits = b
 		}
 	}
+	// st batches this row's op counts locally; one atomic Add into the
+	// meter at the end keeps accounting off the hot path.
+	var st obs.CostStats
 	acc := big.NewInt(1)
 	if maxBits > 0 {
 		digits := (maxBits + int(k.window) - 1) / int(k.window)
@@ -278,6 +361,7 @@ func (k *LinearKernel) Dot(idx []int, ws []int64, bias *big.Int) (*Ciphertext, e
 					acc.Mul(acc, acc)
 					acc.Mod(acc, n2)
 				}
+				st.MulMods += uint64(k.window)
 			}
 			shift := uint(d) * k.window
 			for j, w := range ws {
@@ -306,6 +390,7 @@ func (k *LinearKernel) Dot(idx []int, ws []int64, bias *big.Int) (*Ciphertext, e
 				}
 				acc.Mul(acc, tbl[dig-1])
 				acc.Mod(acc, n2)
+				st.MulMods++
 				started = true
 			}
 		}
@@ -320,16 +405,26 @@ func (k *LinearKernel) Dot(idx []int, ws []int64, bias *big.Int) (*Ciphertext, e
 		t.Mod(t, n2)
 		acc.Mul(acc, t)
 		acc.Mod(acc, n2)
+		st.MulMods++
 	}
 	// Re-randomize: the product's randomness so far is only inherited from
 	// the inputs (and is absent entirely for an all-zero row), so multiply
 	// in a fresh r^n before the ciphertext leaves the model provider.
-	rn, err := k.ev.Blinding()
+	rn, pooled, err := k.ev.blinding()
 	if err != nil {
 		return nil, err
 	}
 	acc.Mul(acc, rn)
 	acc.Mod(acc, n2)
+	st.MulMods++
+	st.Rerands++
+	if pooled {
+		st.PoolHits++
+	} else {
+		st.PoolMisses++
+		st.ModExps++
+	}
+	k.ev.cost.Add(st)
 	if m := k.ev.metrics.Load(); m != nil && m.Dot != nil {
 		m.Dot(time.Since(start))
 	}

@@ -5,6 +5,8 @@ import (
 	"math/big"
 	mrand "math/rand"
 	"testing"
+
+	"ppstream/internal/obs"
 )
 
 // benchLayer builds a rows×cols layer with ~60% negative weights at
@@ -118,6 +120,23 @@ func BenchmarkKernelDot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := kern.Dot(nil, w[0], bg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatVecScaledMetered is BenchmarkMatVecScaledPooled with a cost
+// meter attached — compare the two to measure the accounting overhead
+// (acceptance bound: < 2%).
+func BenchmarkMatVecScaledMetered(b *testing.B) {
+	k, w, bias, xs := benchLayer(b, benchRows, benchCols)
+	p := NewPool(&k.PublicKey, rand.Reader, 2*benchRows*8, 2)
+	defer p.Close()
+	var m obs.CostMeter
+	ev := NewEvaluator(&k.PublicKey, WithBlinder(p), WithCostMeter(&m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.MatVec(w, bias, xs, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,18 +18,35 @@ import (
 // pipeline stages run. The model provider's linear kernel draws from the
 // same supply to re-randomize its outputs (Pool implements Blinder).
 type Pool struct {
-	pk      *PublicKey
-	random  io.Reader
-	ch      chan *big.Int
-	closeCh chan struct{}
-	wg      sync.WaitGroup
-	alive   atomic.Int64
-	retries atomic.Uint64
+	pk           *PublicKey
+	random       io.Reader
+	ch           chan *big.Int
+	closeCh      chan struct{}
+	wg           sync.WaitGroup
+	alive        atomic.Int64
+	retries      atomic.Uint64
+	onPrecompute func(n uint64)
+}
+
+// PoolOption configures optional Pool behaviour at construction.
+type PoolOption func(*Pool)
+
+// WithPrecomputeHook registers fn to be called once per blinding factor
+// the fill workers precompute in the background. Each precomputed factor
+// costs one full r^n modular exponentiation that never shows up in any
+// request's cost meter (it happens off-path, before the request that
+// will consume it exists), so the serving plane uses this hook to charge
+// those exponentiations into the process-wide "cost.modexps" counter —
+// otherwise a warm pool makes the server's modexp accounting read zero
+// while a fill worker burns CPU. fn is called from the fill goroutines
+// and must be safe for concurrent use.
+func WithPrecomputeHook(fn func(n uint64)) PoolOption {
+	return func(p *Pool) { p.onPrecompute = fn }
 }
 
 // NewPool starts workers goroutines filling a buffer of capacity size with
 // fresh blinding factors. Close must be called to release the workers.
-func NewPool(pk *PublicKey, random io.Reader, size, workers int) *Pool {
+func NewPool(pk *PublicKey, random io.Reader, size, workers int, opts ...PoolOption) *Pool {
 	if random == nil {
 		random = rand.Reader
 	}
@@ -44,6 +61,9 @@ func NewPool(pk *PublicKey, random io.Reader, size, workers int) *Pool {
 		random:  random,
 		ch:      make(chan *big.Int, size),
 		closeCh: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(p)
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -82,6 +102,9 @@ func (p *Pool) fill() {
 			continue
 		}
 		backoff = fillBackoffStart
+		if p.onPrecompute != nil {
+			p.onPrecompute(1)
+		}
 		select {
 		case p.ch <- rn:
 		case <-p.closeCh:
@@ -103,23 +126,39 @@ func (p *Pool) Retries() uint64 { return p.retries.Load() }
 // one inline otherwise. It implements Blinder for the linear kernel's
 // output re-randomization.
 func (p *Pool) Blinding() (*big.Int, error) {
+	rn, _, err := p.BlindingTracked()
+	return rn, err
+}
+
+// BlindingTracked is Blinding plus whether the factor was served
+// precomputed (true) or exponentiated inline because the buffer was empty
+// (false) — the hit/miss signal cost accounting records.
+func (p *Pool) BlindingTracked() (*big.Int, bool, error) {
 	select {
 	case rn := <-p.ch:
-		return rn, nil
+		return rn, true, nil
 	default:
-		return p.pk.freshBlinding(p.random)
+		rn, err := p.pk.freshBlinding(p.random)
+		return rn, false, err
 	}
 }
 
 // Encrypt encrypts m using a pooled blinding factor when one is ready,
 // falling back to computing one inline otherwise.
 func (p *Pool) Encrypt(m *big.Int) (*Ciphertext, error) {
-	select {
-	case rn := <-p.ch:
-		return p.pk.EncryptWithBlinding(m, rn)
-	default:
-		return p.pk.Encrypt(p.random, m)
+	ct, _, err := p.EncryptTracked(m)
+	return ct, err
+}
+
+// EncryptTracked is Encrypt plus the pool hit/miss signal for cost
+// accounting.
+func (p *Pool) EncryptTracked(m *big.Int) (*Ciphertext, bool, error) {
+	rn, pooled, err := p.BlindingTracked()
+	if err != nil {
+		return nil, false, err
 	}
+	ct, err := p.pk.EncryptWithBlinding(m, rn)
+	return ct, pooled, err
 }
 
 // EncryptInt64 encrypts a signed 64-bit message via the pool.

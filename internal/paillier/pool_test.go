@@ -72,6 +72,42 @@ func TestPoolWorkersSurviveRandFailures(t *testing.T) {
 	}
 }
 
+// TestPoolPrecomputeHookCountsBackgroundModExps: every factor the fill
+// workers precompute fires the hook exactly once — the off-path modexp
+// accounting the serving plane folds into its cost.modexps counter. A
+// consumed-and-refilled factor is charged again (it cost another
+// exponentiation), and inline pool-miss fallbacks are NOT charged here
+// (the consumer's meter records those).
+func TestPoolPrecomputeHookCountsBackgroundModExps(t *testing.T) {
+	k := key(t)
+	var precomputed atomic.Uint64
+	p := NewPool(&k.PublicKey, rand.Reader, 3, 1, WithPrecomputeHook(func(n uint64) {
+		precomputed.Add(n)
+	}))
+	defer p.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for precomputed.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := precomputed.Load(); got < 3 {
+		t.Fatalf("precompute hook fired %d times, want >= pool size 3", got)
+	}
+
+	// Draining one pooled factor makes the worker replace it: the hook
+	// total must grow past the initial fill.
+	before := precomputed.Load()
+	if _, pooled, err := p.BlindingTracked(); err != nil || !pooled {
+		t.Fatalf("BlindingTracked: pooled=%v err=%v, want a pool hit", pooled, err)
+	}
+	for precomputed.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if precomputed.Load() == before {
+		t.Fatal("consumed factor was never replaced (hook did not fire again)")
+	}
+}
+
 // TestPoolCloseStopsWorkers: after Close the alive gauge drains to zero,
 // even while the reader is failing (workers must exit from the backoff
 // sleep, not hang in it).

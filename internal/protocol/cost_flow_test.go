@@ -1,0 +1,173 @@
+package protocol
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ppstream/internal/obs"
+	"ppstream/internal/tensor"
+)
+
+// deterministicCost strips the fields whose values depend on blinding-
+// pool fill timing (a miss converts a pooled factor into an inline
+// modexp) or on the random blinding factors themselves (ciphertext byte
+// lengths shift by a byte when a residue has leading zeros), leaving the
+// fields that are a pure function of the model and input shape. Used to
+// compare per-request profiles for cross-request bleed: any bleed
+// inflates these deterministic counts.
+func deterministicCost(st obs.CostStats) obs.CostStats {
+	st.ModExps = 0
+	st.PoolHits = 0
+	st.PoolMisses = 0
+	st.CipherBytesIn = 0
+	st.CipherBytesOut = 0
+	return st
+}
+
+func costInput(seed int64) *tensor.Dense {
+	r := rand.New(rand.NewSource(seed))
+	x := tensor.Zeros(4)
+	for i := range x.Data() {
+		x.Data()[i] = r.NormFloat64()
+	}
+	return x
+}
+
+// TestInferTracedCarriesCostAnnotations checks the tentpole invariant
+// end to end over the session layer: a traced inference's segments carry
+// crypto-cost profiles from both parties, ciphertext traffic is counted
+// on the wire segments, the server folds costs into its registry, and
+// the flight recorder holds the request's record.
+func TestInferTracedCarriesCostAnnotations(t *testing.T) {
+	reg := obs.NewRegistry("cost-flow-test")
+	flight := obs.NewFlightRecorder(8, 4, 8)
+	client, _, ctx := traceSession(t, SessionConfig{Registry: reg, Flight: flight})
+	defer client.Close()
+
+	_, tree, err := client.InferTraced(ctx, costInput(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree == nil {
+		t.Fatal("no trace tree")
+	}
+
+	var kernelCost, encCost, nlCost, wireCost obs.CostStats
+	for _, s := range tree.Segments {
+		if s.Cost == nil {
+			continue
+		}
+		switch s.Label() {
+		case "server-kernel":
+			kernelCost.Add(*s.Cost)
+		case "client-encrypt":
+			encCost.Add(*s.Cost)
+		case "client-nonlinear":
+			nlCost.Add(*s.Cost)
+		case "wire":
+			wireCost.Add(*s.Cost)
+		}
+	}
+	if kernelCost.MulMods == 0 || kernelCost.Rerands == 0 {
+		t.Errorf("server-kernel segments carry no kernel cost: %+v", kernelCost)
+	}
+	if kernelCost.CipherBytesIn == 0 || kernelCost.CipherBytesOut == 0 {
+		t.Errorf("server-kernel segments carry no ciphertext traffic: %+v", kernelCost)
+	}
+	if encCost.Encrypts == 0 {
+		t.Errorf("client-encrypt segment carries no encryption cost: %+v", encCost)
+	}
+	if nlCost.Decrypts == 0 || nlCost.Encrypts == 0 {
+		t.Errorf("client-nonlinear segments carry no decrypt/re-encrypt cost: %+v", nlCost)
+	}
+	if wireCost.CipherBytesIn == 0 || wireCost.CipherBytesOut == 0 {
+		t.Errorf("wire segments carry no ciphertext byte counts: %+v", wireCost)
+	}
+	if total := tree.Cost(); total.ModExps == 0 {
+		t.Errorf("request total records no modexps: %+v", total)
+	}
+
+	// The server folded this request's costs into its registry.
+	snap := reg.Snapshot()
+	for _, name := range []string{"cost.mulmods", "cost.rerands", "cost.cipher_bytes_in", "cost.cipher_bytes_out"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("registry counter %s is zero after a traced inference", name)
+		}
+	}
+
+	// The flight recorder holds the request, keyed by its trace ID.
+	dump := flight.Dump()
+	if dump.Recorded == 0 || len(dump.Recent) == 0 {
+		t.Fatalf("flight recorder empty after a completed request: %+v", dump)
+	}
+	found := false
+	for _, rec := range dump.Recent {
+		if rec.Trace.ID == tree.ID {
+			found = true
+			if rec.Err != "" {
+				t.Errorf("successful request recorded with error %q", rec.Err)
+			}
+			if c := rec.Trace.Cost(); c.MulMods == 0 {
+				t.Errorf("flight record carries no cost profile: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("trace %s not in flight recorder recent ring", tree.ID)
+	}
+}
+
+// TestCostNoCrossRequestBleed runs concurrent inferences over one
+// multiplexed session and requires every request's deterministic cost
+// profile to equal a sequential baseline: requests sharing the session's
+// evaluator and pool must not leak counts into each other. Run under
+// -race in CI this also exercises the concurrent metering paths.
+func TestCostNoCrossRequestBleed(t *testing.T) {
+	reg := obs.NewRegistry("bleed-test")
+	client, _, ctx := traceSession(t, SessionConfig{Registry: reg})
+	defer client.Close()
+
+	x := costInput(7)
+	_, baseTree, err := client.InferTraced(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := deterministicCost(baseTree.Cost())
+	if base.IsZero() {
+		t.Fatal("baseline request recorded no deterministic cost")
+	}
+	baseDraws := func(tr *obs.TraceTree) uint64 {
+		c := tr.Cost()
+		return c.PoolHits + c.PoolMisses
+	}
+	wantDraws := baseDraws(baseTree)
+
+	const concurrent = 6
+	var wg sync.WaitGroup
+	trees := make([]*obs.TraceTree, concurrent)
+	errs := make([]error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, trees[i], errs[i] = client.InferTraced(ctx, x)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		got := deterministicCost(trees[i].Cost())
+		if got != base {
+			t.Errorf("request %d cost %+v differs from baseline %+v — cross-request bleed", i, got, base)
+		}
+		if draws := baseDraws(trees[i]); draws != wantDraws {
+			t.Errorf("request %d drew %d blinding factors, baseline drew %d", i, draws, wantDraws)
+		}
+		if c := trees[i].Cost(); c.CipherBytesIn == 0 || c.CipherBytesOut == 0 {
+			t.Errorf("request %d recorded no ciphertext traffic: %+v", i, c)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package protocol
 
 import (
 	"fmt"
+	"math/big"
 	"sync"
 	"time"
 
@@ -370,6 +371,22 @@ func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) 
 // ProcessLinearTimed is ProcessLinear reporting how the round's wall
 // time divided between the homomorphic kernel and permutation work.
 func (mp *ModelProvider) ProcessLinearTimed(r int, env *Envelope) (*Envelope, LinearTiming, error) {
+	return mp.processLinear(r, env, mp.eval)
+}
+
+// ProcessLinearMetered is ProcessLinearTimed with crypto-op accounting:
+// the round runs through a metered view of the provider's evaluator so
+// its op counts land in m without touching other requests sharing the
+// evaluator. A nil meter falls back to the unmetered path.
+func (mp *ModelProvider) ProcessLinearMetered(r int, env *Envelope, m *obs.CostMeter) (*Envelope, LinearTiming, error) {
+	ev := mp.eval
+	if m != nil {
+		ev = ev.WithCost(m)
+	}
+	return mp.processLinear(r, env, ev)
+}
+
+func (mp *ModelProvider) processLinear(r int, env *Envelope, ev *paillier.Evaluator) (*Envelope, LinearTiming, error) {
 	var tm LinearTiming
 	if r < 0 || r >= len(mp.stages) {
 		return nil, tm, fmt.Errorf("protocol: no linear stage %d", r)
@@ -414,9 +431,9 @@ func (mp *ModelProvider) ProcessLinearTimed(r int, env *Envelope) (*Envelope, Li
 	var out *paillier.CipherTensor
 	var outExp int
 	if st.usePartitionExec {
-		out, outExp, _, err = executePartitioned(mp.eval, st, shaped, env.Exp)
+		out, outExp, _, err = executePartitioned(ev, st, shaped, env.Exp)
 	} else {
-		out, outExp, err = qnn.ApplyStage(mp.eval, st.ops, shaped, env.Exp, st.threads)
+		out, outExp, err = qnn.ApplyStage(ev, st.ops, shaped, env.Exp, st.threads)
 	}
 	if err != nil {
 		return nil, tm, err
@@ -482,27 +499,50 @@ func (dp *DataProvider) Stages() int { return len(dp.stages) }
 // Encrypt performs step 1.1: scale the raw input to exponent 1 and
 // encrypt it element-wise.
 func (dp *DataProvider) Encrypt(req uint64, x *tensor.Dense) (*Envelope, error) {
+	return dp.EncryptMetered(req, x, nil)
+}
+
+// EncryptMetered is Encrypt with crypto-op accounting into m (nil skips
+// accounting): encryption counts, blinding-pool hits/misses, and the
+// inline exponentiations misses cost.
+func (dp *DataProvider) EncryptMetered(req uint64, x *tensor.Dense, m *obs.CostMeter) (*Envelope, error) {
 	scaled := qnn.ScaleInput(x, dp.factor)
-	ct, err := dp.encryptTensor(scaled)
+	ct, err := dp.encryptTensor(scaled, m)
 	if err != nil {
 		return nil, err
 	}
 	return &Envelope{Req: req, CT: ct, Exp: 1}, nil
 }
 
-func (dp *DataProvider) encryptTensor(t *tensor.Tensor[int64]) (*paillier.CipherTensor, error) {
+func (dp *DataProvider) encryptTensor(t *tensor.Tensor[int64], m *obs.CostMeter) (*paillier.CipherTensor, error) {
 	if dp.pool != nil {
+		var st obs.CostStats
 		out := tensor.New[*paillier.Ciphertext](t.Shape()...)
 		for i, v := range t.Data() {
-			ct, err := dp.pool.EncryptInt64(v)
+			ct, pooled, err := dp.pool.EncryptTracked(big.NewInt(v))
 			if err != nil {
 				return nil, err
 			}
+			st.Encrypts++
+			st.MulMods += 2 // (1+m·n) fold + blinding apply
+			if pooled {
+				st.PoolHits++
+			} else {
+				st.PoolMisses++
+				st.ModExps++ // inline r^n on the critical path
+			}
 			out.SetFlat(i, ct)
 		}
+		m.Add(st)
 		return out, nil
 	}
-	return paillier.EncryptTensor(&dp.sk.PublicKey, nil, t, dp.workers)
+	ct, err := paillier.EncryptTensor(&dp.sk.PublicKey, nil, t, dp.workers)
+	if err != nil {
+		return nil, err
+	}
+	n := uint64(t.Size())
+	m.Add(obs.CostStats{Encrypts: n, ModExps: n, MulMods: 2 * n})
+	return ct, nil
 }
 
 // ProcessNonLinear executes round r's steps at the data provider:
@@ -510,6 +550,13 @@ func (dp *DataProvider) encryptTensor(t *tensor.Tensor[int64]) (*paillier.Cipher
 // rounds) or produce the final result (last round) — steps 2.1–2.4 and
 // 3.5–3.7 of Figure 3.
 func (dp *DataProvider) ProcessNonLinear(r int, env *Envelope) (*Envelope, error) {
+	return dp.ProcessNonLinearMetered(r, env, nil)
+}
+
+// ProcessNonLinearMetered is ProcessNonLinear with crypto-op accounting
+// into m (nil skips accounting): decryption counts — each CRT decryption
+// is two half-size exponentiations — plus the re-encryption costs.
+func (dp *DataProvider) ProcessNonLinearMetered(r int, env *Envelope, m *obs.CostMeter) (*Envelope, error) {
 	if r < 0 || r >= len(dp.stages) {
 		return nil, fmt.Errorf("protocol: no non-linear stage %d", r)
 	}
@@ -521,6 +568,10 @@ func (dp *DataProvider) ProcessNonLinear(r int, env *Envelope) (*Envelope, error
 	bigT, err := paillier.DecryptTensorBig(dp.sk, env.CT, st.threads)
 	if err != nil {
 		return nil, err
+	}
+	if m != nil {
+		n := uint64(env.CT.Size())
+		m.Add(obs.CostStats{Decrypts: n, ModExps: 2 * n})
 	}
 	vals, err := qnn.Descale(bigT, dp.factor, env.Exp)
 	if err != nil {
@@ -563,7 +614,7 @@ func (dp *DataProvider) ProcessNonLinear(r int, env *Envelope) (*Envelope, error
 		}
 	}
 	rescaled := qnn.ScaleInput(flat, dp.factor)
-	ct, err := dp.encryptTensor(rescaled)
+	ct, err := dp.encryptTensor(rescaled, m)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +99,10 @@ type SessionConfig struct {
 	// hellos, per-round failures, and rounds exceeding the logger's slow
 	// threshold — each correlated by the request's trace ID.
 	Log *obs.Logger
+	// Flight, when non-nil, records every completed or failed request's
+	// server-side trace (with cost profiles) into the flight recorder's
+	// bounded rings for /debug/flight and SIGQUIT dumps.
+	Flight *obs.FlightRecorder
 }
 
 // DefaultSessionWindow is the concurrent-frame bound a session uses when
@@ -260,8 +266,16 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 	}
 	// Per-session blinding pool: the kernel re-randomizes every output
 	// ciphertext, and pooled r^n factors keep those exponentiations off
-	// the round-trip critical path.
-	blind := paillier.NewPool(pk, nil, 64, 1)
+	// the round-trip critical path. Each precomputed factor is one real
+	// modular exponentiation the fill worker performs off-path, so it is
+	// charged into the process-wide modexp counter here — per-request
+	// meters only ever see the pool misses they caused inline.
+	var poolOpts []paillier.PoolOption
+	if reg != nil {
+		poolModExps := reg.Counter("cost.modexps")
+		poolOpts = append(poolOpts, paillier.WithPrecomputeHook(poolModExps.Add))
+	}
+	blind := paillier.NewPool(pk, nil, 64, 1, poolOpts...)
 	defer blind.Close()
 	if reg != nil {
 		reg.GaugeFunc("pool.workers.alive", blind.AliveWorkers)
@@ -331,8 +345,10 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		start := time.Now()
 		queueWait := start.Sub(arrived)
 		slog := cfg.Log
+		traceID := ""
 		if frame.TC.valid() {
 			slog = slog.WithTrace(frame.TC.ID)
+			traceID = frame.TC.ID
 		}
 		env, err := FromWire(frame.Env, pk)
 		if err != nil {
@@ -348,7 +364,19 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			return
 		}
 		reqs.touch(env.Req, frame.Round)
-		result, timing, err := mp.ProcessLinearTimed(frame.Round, env)
+		// One meter per round frame: round index == linear-stage index, so
+		// the snapshot IS the per-layer cost profile the trace segment
+		// carries. Profiling labels attribute CPU samples the same way.
+		var meter obs.CostMeter
+		var result *Envelope
+		var timing LinearTiming
+		pprof.Do(ctx, pprof.Labels(
+			"stage", "linear",
+			"round", strconv.Itoa(frame.Round),
+			"trace", traceID,
+		), func(context.Context) {
+			result, timing, err = mp.ProcessLinearMetered(frame.Round, env, &meter)
+		})
 		elapsed := time.Since(start)
 		if reg != nil {
 			roundTime.Observe(elapsed)
@@ -361,6 +389,9 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 				roundErrs.Inc()
 			}
 			slog.Warn("round failed", "req", env.Req, "round", frame.Round, "err", err.Error())
+			if cfg.Flight != nil {
+				cfg.Flight.Record(serverTree(traceID, env.Req, reqs.takeSpans(env.Req)), err)
+			}
 			// The request is dead on this side: release its permutation
 			// state now rather than waiting for the TTL.
 			reqs.drop(env.Req)
@@ -374,18 +405,34 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			"req", env.Req, "round", frame.Round,
 			"kernel_ms", float64(timing.Kernel)/float64(time.Millisecond),
 			"permute_ms", float64(timing.Permute)/float64(time.Millisecond))
+		wireEnv, err := ToWire(result)
+		if err != nil {
+			recordFatal(err)
+			return
+		}
+		// This round's cost profile: the metered crypto ops plus the
+		// ciphertext traffic both ways. It rides on the kernel segment (the
+		// work it explains) and folds into the process-wide cost counters.
+		cost := meter.Snapshot()
+		cost.CipherBytesIn = frame.Env.CipherBytes()
+		cost.CipherBytesOut = wireEnv.CipherBytes()
+		obs.AddCostToRegistry(reg, cost)
 		// Record this round's server spans under the request; on the last
 		// round they travel back to the client for the merged trace tree.
 		reqs.addSpans(env.Req,
 			obs.Segment{Party: "server", Name: "queue", Round: frame.Round, Dur: queueWait},
-			obs.Segment{Party: "server", Name: "kernel", Round: frame.Round, Dur: timing.Kernel},
+			obs.Segment{Party: "server", Name: "kernel", Round: frame.Round, Dur: timing.Kernel, Cost: &cost},
 			obs.Segment{Party: "server", Name: "permute", Round: frame.Round, Dur: timing.Permute},
 		)
-		reply := &roundFrame{Round: frame.Round, Env: nil, TC: frame.TC}
+		reply := &roundFrame{Round: frame.Round, Env: wireEnv, TC: frame.TC}
 		if frame.Round == lastRound {
 			// The request's last linear round: its obfuscation state is
 			// fully consumed; drop the entry instead of leaking it.
-			reply.Spans = toWireSpans(reqs.takeSpans(env.Req))
+			spans := reqs.takeSpans(env.Req)
+			reply.Spans = toWireSpans(spans)
+			if cfg.Flight != nil {
+				cfg.Flight.Record(serverTree(traceID, env.Req, spans), nil)
+			}
 			reqs.drop(env.Req)
 			mp.Forget(env.Req)
 			if reg != nil {
@@ -394,11 +441,6 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		}
 		if roundsServed != nil {
 			roundsServed.Inc()
-		}
-		reply.Env, err = ToWire(result)
-		if err != nil {
-			recordFatal(err)
-			return
 		}
 		if err := out.Send(ctx, &stream.Message{Seq: msg.Seq, Payload: reply}); err != nil {
 			recordFatal(err)
@@ -444,6 +486,20 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		return loopErr
 	}
 	return sessionErr()
+}
+
+// serverTree assembles the server-side view of one request for the
+// flight recorder: the spans accumulated so far under the request's
+// trace ID (or a request-derived ID for untraced clients), with Total as
+// the server's summed busy time — the server cannot know the client's
+// end-to-end latency.
+func serverTree(traceID string, req uint64, spans []obs.Segment) *obs.TraceTree {
+	if traceID == "" {
+		traceID = "req-" + strconv.FormatUint(req, 10)
+	}
+	tree := &obs.TraceTree{ID: traceID, Segments: spans}
+	tree.Total = tree.Sum()
+	return tree
 }
 
 // ClientOptions parameterizes the data-provider session client.
@@ -624,14 +680,18 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 	}()
 
 	encStart := time.Now()
-	env, err := c.dp.Encrypt(req, x)
+	var encMeter obs.CostMeter
+	env, err := c.dp.EncryptMetered(req, x, &encMeter)
 	if err != nil {
 		return nil, nil, err
 	}
 	encDur := time.Since(encStart)
+	encCost := encMeter.Snapshot()
 
 	roundtrips := make([]time.Duration, c.rounds)
 	nonlinear := make([]time.Duration, c.rounds)
+	wireCosts := make([]obs.CostStats, c.rounds)
+	nlCosts := make([]obs.CostStats, c.rounds)
 	var serverSegs []obs.Segment
 	for round := 0; round < c.rounds; round++ {
 		rtStart := time.Now()
@@ -639,6 +699,7 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 		if err != nil {
 			return nil, nil, err
 		}
+		wireCosts[round].CipherBytesOut = w.CipherBytes()
 		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w, TC: tc}}); err != nil {
 			return nil, nil, err
 		}
@@ -659,6 +720,7 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 		if !ok {
 			return nil, nil, fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
 		}
+		wireCosts[round].CipherBytesIn = frame.Env.CipherBytes()
 		env, err = FromWire(frame.Env, c.pk)
 		if err != nil {
 			return nil, nil, err
@@ -669,16 +731,18 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 		}
 		env.Req = req
 		nlStart := time.Now()
-		env, err = c.dp.ProcessNonLinear(round, env)
+		var nlMeter obs.CostMeter
+		env, err = c.dp.ProcessNonLinearMetered(round, env, &nlMeter)
 		if err != nil {
 			return nil, nil, err
 		}
 		nonlinear[round] = time.Since(nlStart)
+		nlCosts[round] = nlMeter.Snapshot()
 	}
 	if env.Result == nil {
 		return nil, nil, errors.New("protocol: session ended without a result")
 	}
-	tree := mergeTrace(tc.ID, time.Since(begin), queueWait, encDur, roundtrips, nonlinear, serverSegs)
+	tree := mergeTrace(tc.ID, time.Since(begin), queueWait, encDur, roundtrips, nonlinear, serverSegs, encCost, wireCosts, nlCosts)
 	return env.Result, tree, nil
 }
 
@@ -687,11 +751,22 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 // their rounds, and a per-round "wire" segment inferred as the client's
 // round-trip minus the server's busy time (clamped at zero if the
 // server over-reports). Round -1 marks request-scoped client segments.
-func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, nonlinear []time.Duration, serverSegs []obs.Segment) *obs.TraceTree {
+// Cost profiles ride on the segments they explain: encryption ops on
+// client-encrypt, per-round ciphertext traffic on wire, decryption and
+// re-encryption ops on client-nonlinear; the server's kernel costs arrive
+// inside serverSegs.
+func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, nonlinear []time.Duration, serverSegs []obs.Segment, encCost obs.CostStats, wireCosts, nlCosts []obs.CostStats) *obs.TraceTree {
+	costOrNil := func(st obs.CostStats) *obs.CostStats {
+		if st.IsZero() {
+			return nil
+		}
+		c := st
+		return &c
+	}
 	tree := &obs.TraceTree{ID: id, Total: total}
 	tree.Segments = append(tree.Segments,
 		obs.Segment{Party: "client", Name: "queue", Round: -1, Dur: queueWait},
-		obs.Segment{Party: "client", Name: "encrypt", Round: -1, Dur: encDur},
+		obs.Segment{Party: "client", Name: "encrypt", Round: -1, Dur: encDur, Cost: costOrNil(encCost)},
 	)
 	serverByRound := map[int]time.Duration{}
 	for _, s := range serverSegs {
@@ -702,13 +777,21 @@ func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, n
 		if wire < 0 {
 			wire = 0
 		}
-		tree.Segments = append(tree.Segments, obs.Segment{Party: "wire", Name: "wire", Round: round, Dur: wire})
+		wireSeg := obs.Segment{Party: "wire", Name: "wire", Round: round, Dur: wire}
+		if round < len(wireCosts) {
+			wireSeg.Cost = costOrNil(wireCosts[round])
+		}
+		tree.Segments = append(tree.Segments, wireSeg)
 		for _, s := range serverSegs {
 			if s.Round == round {
 				tree.Segments = append(tree.Segments, s)
 			}
 		}
-		tree.Segments = append(tree.Segments, obs.Segment{Party: "client", Name: "nonlinear", Round: round, Dur: nonlinear[round]})
+		nlSeg := obs.Segment{Party: "client", Name: "nonlinear", Round: round, Dur: nonlinear[round]}
+		if round < len(nlCosts) {
+			nlSeg.Cost = costOrNil(nlCosts[round])
+		}
+		tree.Segments = append(tree.Segments, nlSeg)
 	}
 	return tree
 }

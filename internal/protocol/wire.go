@@ -34,12 +34,70 @@ func (tc *TraceContext) valid() bool {
 
 // WireSpan is the gob form of one server-side trace segment, shipped
 // back to the client in the final round frame so it can merge both
-// parties' spans into one obs.TraceTree.
+// parties' spans into one obs.TraceTree. Cost is a gob-compatible
+// additive extension: frames from peers predating it decode with the
+// field nil, and old peers skip it.
 type WireSpan struct {
 	Party string
 	Name  string
 	Round int
 	Nanos int64
+	Cost  *WireCost
+}
+
+// WireCost is the gob form of a segment's obs.CostStats crypto-cost
+// profile. The field set mirrors obs.CostStats; evolution is additive
+// only (wire.lock).
+type WireCost struct {
+	ModExps        uint64
+	MulMods        uint64
+	ModInverses    uint64
+	Rerands        uint64
+	PoolHits       uint64
+	PoolMisses     uint64
+	Encrypts       uint64
+	Decrypts       uint64
+	CipherBytesIn  uint64
+	CipherBytesOut uint64
+}
+
+// toWireCost converts a segment's cost annotation, nil for segments
+// without one (or with nothing recorded).
+func toWireCost(st *obs.CostStats) *WireCost {
+	if st == nil || st.IsZero() {
+		return nil
+	}
+	return &WireCost{
+		ModExps:        st.ModExps,
+		MulMods:        st.MulMods,
+		ModInverses:    st.ModInverses,
+		Rerands:        st.Rerands,
+		PoolHits:       st.PoolHits,
+		PoolMisses:     st.PoolMisses,
+		Encrypts:       st.Encrypts,
+		Decrypts:       st.Decrypts,
+		CipherBytesIn:  st.CipherBytesIn,
+		CipherBytesOut: st.CipherBytesOut,
+	}
+}
+
+// fromWireCost converts a received cost profile.
+func fromWireCost(w *WireCost) *obs.CostStats {
+	if w == nil {
+		return nil
+	}
+	return &obs.CostStats{
+		ModExps:        w.ModExps,
+		MulMods:        w.MulMods,
+		ModInverses:    w.ModInverses,
+		Rerands:        w.Rerands,
+		PoolHits:       w.PoolHits,
+		PoolMisses:     w.PoolMisses,
+		Encrypts:       w.Encrypts,
+		Decrypts:       w.Decrypts,
+		CipherBytesIn:  w.CipherBytesIn,
+		CipherBytesOut: w.CipherBytesOut,
+	}
 }
 
 // toWireSpans converts trace segments for the result frame.
@@ -49,7 +107,7 @@ func toWireSpans(segs []obs.Segment) []WireSpan {
 	}
 	out := make([]WireSpan, len(segs))
 	for i, s := range segs {
-		out[i] = WireSpan{Party: s.Party, Name: s.Name, Round: s.Round, Nanos: s.Dur.Nanoseconds()}
+		out[i] = WireSpan{Party: s.Party, Name: s.Name, Round: s.Round, Nanos: s.Dur.Nanoseconds(), Cost: toWireCost(s.Cost)}
 	}
 	return out
 }
@@ -65,9 +123,22 @@ func fromWireSpans(spans []WireSpan) []obs.Segment {
 		if s.Nanos < 0 {
 			continue
 		}
-		out = append(out, obs.Segment{Party: s.Party, Name: s.Name, Round: s.Round, Dur: time.Duration(s.Nanos)})
+		out = append(out, obs.Segment{Party: s.Party, Name: s.Name, Round: s.Round, Dur: time.Duration(s.Nanos), Cost: fromWireCost(s.Cost)})
 	}
 	return out
+}
+
+// CipherBytes sums the serialized ciphertext payload of a wire envelope —
+// the per-hop ciphertext traffic cost accounting records.
+func (w *WireEnvelope) CipherBytes() uint64 {
+	if w == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range w.Cipher {
+		n += uint64(len(c))
+	}
+	return n
 }
 
 // WireEnvelope is the gob-encodable form of Envelope for TCP edges

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ppstream/internal/nn"
+	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
 	"ppstream/internal/tensor"
 )
@@ -420,6 +421,25 @@ func (q *QAffine) Apply(ev *paillier.Evaluator, x *paillier.CipherTensor, inExp,
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if m := ev.CostMeter(); m != nil {
+		// The affine op's cost outside Blinding (which counts its own
+		// rerands and pool hits/misses) is deterministic per element: one
+		// scalar exponentiation, an inverse for negative scales, one mulmod
+		// per non-zero shift, one mulmod applying the blinding factor.
+		var st obs.CostStats
+		for i := range xd {
+			c := idx(i)
+			st.ModExps++
+			if q.Scale[c] < 0 {
+				st.ModInverses++
+			}
+			if q.Shift != nil && q.Shift[c] != 0 {
+				st.MulMods++
+			}
+			st.MulMods++
+		}
+		m.Add(st)
 	}
 	return out, nil
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,7 +206,19 @@ func (s *Stage) run(ctx context.Context) error {
 				s.waitHist.Observe(wait)
 			}
 			start := time.Now()
-			out, perr := s.process(ctx, m)
+			var out *Message
+			var perr error
+			// Label the handler's execution for continuous profiling: CPU
+			// samples taken while this stage works a message carry the stage
+			// name (and the request's trace ID when traced), so a pprof
+			// capture splits time by stage without guessing from stacks.
+			labels := []string{"stage", s.name}
+			if m.Trace != nil && m.Trace.ID != "" {
+				labels = append(labels, "trace", m.Trace.ID)
+			}
+			pprof.Do(ctx, pprof.Labels(labels...), func(ctx context.Context) {
+				out, perr = s.process(ctx, m)
+			})
 			busy = time.Since(start)
 			s.metrics.BusyNanos.Add(busy.Nanoseconds())
 			if s.busyHist != nil {
