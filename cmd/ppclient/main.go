@@ -47,6 +47,8 @@ func main() {
 	count := flag.Int("n", 3, "number of inferences to run")
 	concurrency := flag.Int("concurrency", 1, "concurrent in-flight inferences over the one session")
 	trace := flag.Bool("trace", false, "print the merged cross-party trace and per-segment breakdown")
+	deadline := flag.Duration("deadline", 0, "per-inference deadline budget, propagated to the server on every round frame (0 = none)")
+	retries := flag.Int("retries", protocol.DefaultRetryAttempts, "max attempts when the server sheds or throttles a request start")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -70,7 +72,12 @@ func main() {
 		*concurrency = 1
 	}
 	ctx := context.Background()
-	opts := protocol.ClientOptions{Workers: *workers, Window: *concurrency}
+	opts := protocol.ClientOptions{
+		Workers:  *workers,
+		Window:   *concurrency,
+		Deadline: *deadline,
+		Retry:    protocol.RetryPolicy{MaxAttempts: *retries},
+	}
 	client, err := protocol.NewClientOpts(ctx, edge, edge, arch, key, *factor, opts)
 	if err != nil {
 		log.Fatalf("ppclient: %v", err)

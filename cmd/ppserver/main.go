@@ -11,7 +11,11 @@
 // Each session is multiplexed: round frames from different in-flight
 // requests interleave on one connection and are processed concurrently
 // up to -window; per-request state abandoned mid-protocol is evicted
-// after -idlettl. With -metrics set, the server's registry (session
+// after -idlettl, and requests whose client-propagated deadline expires
+// are evicted immediately. Admission control is global across sessions:
+// -maxinflight and -shed reject excess or overload-era requests with a
+// retryable typed shed error, and -ratelimit/-ratewindow throttle new
+// requests per sliding window — clients retry both with backoff. With -metrics set, the server's registry (session
 // counts, per-round latency percentiles including the kernel/permute
 // split, TCP byte/frame counters, runtime gauges) is served at
 // http://<addr>/metrics — JSON by default, Prometheus text at
@@ -51,6 +55,10 @@ func main() {
 	maxWorkers := flag.Int("maxworkers", 8, "per-stage thread cap per session")
 	window := flag.Int("window", protocol.DefaultSessionWindow, "concurrent in-flight round frames per session")
 	idleTTL := flag.Duration("idlettl", protocol.DefaultIdleTTL, "evict per-request state after this much inactivity")
+	maxInFlight := flag.Int64("maxinflight", 0, "shed new requests beyond this many in flight across all sessions (0 disables)")
+	shedLatency := flag.Duration("shed", 0, "shed new requests while the recent p95 round latency exceeds this (0 disables)")
+	rateLimit := flag.Int("ratelimit", 0, "throttle new requests beyond this many per -ratewindow (0 disables)")
+	rateWindow := flag.Duration("ratewindow", time.Second, "sliding window for -ratelimit")
 	metricsAddr := flag.String("metrics", "", "serve metrics (JSON + Prometheus) + health + pprof on this address (e.g. :7200; empty disables)")
 	slow := flag.Duration("slow", 0, "log rounds slower than this with their trace ID (0 disables)")
 	debugLog := flag.Bool("debug", false, "emit debug-level log lines")
@@ -87,6 +95,25 @@ func main() {
 	var flight *obs.FlightRecorder
 	if *flightN > 0 {
 		flight = obs.NewFlightRecorder(*flightN, 0, 0)
+	}
+
+	// Admission control is shared across every session so the in-flight
+	// bound and rate limit are global to the server, not per connection.
+	var shed *protocol.Shedder
+	if *maxInFlight > 0 || *shedLatency > 0 {
+		shed = protocol.NewShedder(protocol.ShedConfig{
+			MaxInFlight:   *maxInFlight,
+			LatencyTarget: *shedLatency,
+			Registry:      reg,
+		})
+	}
+	var limiter *protocol.RateLimiter
+	if *rateLimit > 0 {
+		limiter, err = protocol.NewRateLimiter(*rateLimit, *rateWindow)
+		if err != nil {
+			logger.Error("rate limiter rejected", "err", err.Error())
+			os.Exit(1)
+		}
 	}
 
 	var ready atomic.Bool
@@ -186,6 +213,8 @@ func main() {
 				MaxWorkers: *maxWorkers,
 				Window:     *window,
 				IdleTTL:    *idleTTL,
+				Shed:       shed,
+				Limiter:    limiter,
 				Registry:   reg,
 				Log:        slog,
 				Flight:     flight,

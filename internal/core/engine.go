@@ -85,6 +85,16 @@ type Options struct {
 	// requests (Serve/Submit backpressure); <= 0 leaves admission
 	// bounded only by the pipeline's edge buffers.
 	Window int
+	// MaxInFlight enables load shedding in the serving runtime: Submit
+	// calls beyond this many admitted-but-unfinished requests fail fast
+	// with a retryable protocol.ErrShed instead of queueing. <= 0
+	// disables the in-flight shed check. Unlike Window (which blocks
+	// submitters), shedding rejects them — the back-pressure signal a
+	// remote client's retry loop needs.
+	MaxInFlight int
+	// ShedLatency sheds new requests while the windowed p95 of recent
+	// serve latencies exceeds it; <= 0 disables the latency shed check.
+	ShedLatency time.Duration
 }
 
 // Engine is a ready-to-run PP-Stream deployment for one model.
@@ -106,6 +116,7 @@ type Engine struct {
 	// serveMu guards the persistent serving runtime (see serve.go).
 	serveMu sync.Mutex
 	disp    *stream.Dispatcher
+	shed    *protocol.Shedder
 }
 
 // NewEngine builds the engine: protocol construction, offline profiling,

@@ -41,9 +41,14 @@ var ErrNotServing = errors.New("core: engine is not serving (call Serve first)")
 // instrumented pipeline and a completion dispatcher that lives until
 // Shutdown (or Close). While serving, any number of goroutines may call
 // Submit concurrently; the registry exposes "serve.inflight",
-// "serve.requests.ok" / "serve.requests.err", and the end-to-end
-// "serve.latency" histogram. ctx bounds the lifetime of the stage
-// goroutines.
+// "serve.requests.ok" / "serve.requests.err" / "serve.requests.shed",
+// and the end-to-end "serve.latency" histogram. ctx bounds the lifetime
+// of the stage goroutines.
+//
+// When Options.MaxInFlight or ShedLatency is set, an admission
+// controller fronts Submit: excess or overload-era requests fail fast
+// with a retryable error matching protocol.ErrShed instead of queueing
+// behind work the runtime cannot finish in time.
 func (e *Engine) Serve(ctx context.Context) error {
 	e.serveMu.Lock()
 	defer e.serveMu.Unlock()
@@ -59,6 +64,16 @@ func (e *Engine) Serve(ctx context.Context) error {
 		return err
 	}
 	e.disp = d
+	if e.shed == nil && (e.opts.MaxInFlight > 0 || e.opts.ShedLatency > 0) {
+		// Built once and kept across Serve/Shutdown cycles: the latency
+		// window it accumulates stays meaningful, and GaugeFunc must not
+		// be registered twice.
+		e.shed = protocol.NewShedder(protocol.ShedConfig{
+			MaxInFlight:   int64(e.opts.MaxInFlight),
+			LatencyTarget: e.opts.ShedLatency,
+			Registry:      e.reg,
+		})
+	}
 	e.reg.GaugeFunc("serve.inflight", d.InFlight)
 	return nil
 }
@@ -84,30 +99,32 @@ func (e *Engine) Shutdown() error {
 	return d.Close()
 }
 
-// dispatcher returns the live dispatcher, or nil.
-func (e *Engine) dispatcher() *stream.Dispatcher {
-	e.serveMu.Lock()
-	defer e.serveMu.Unlock()
-	return e.disp
-}
-
 // Submit runs one inference through the serving runtime, blocking until
 // its result is ready, ctx expires, or the runtime shuts down. Safe for
 // concurrent use; each caller gets exactly its own result. A request
 // that fails inside the pipeline returns a *RequestError naming the
 // failing stage, while other in-flight requests proceed undisturbed.
 func (e *Engine) Submit(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *stream.Trace, error) {
-	d := e.dispatcher()
+	e.serveMu.Lock()
+	d, shed := e.disp, e.shed
+	e.serveMu.Unlock()
 	if d == nil {
 		return nil, nil, ErrNotServing
 	}
+	if err := shed.Acquire(); err != nil {
+		e.reg.Counter("serve.requests.shed").Inc()
+		return nil, nil, err
+	}
+	defer shed.Release()
 	start := time.Now()
 	m, err := d.Do(ctx, x)
 	if err != nil {
 		e.reg.Counter("serve.requests.err").Inc()
 		return nil, nil, err
 	}
-	e.reg.Histogram("serve.latency").Observe(time.Since(start))
+	elapsed := time.Since(start)
+	shed.Observe(elapsed)
+	e.reg.Histogram("serve.latency").Observe(elapsed)
 	if m.Err != "" {
 		e.reg.Counter("serve.requests.err").Inc()
 		// The failed message skipped the remaining stages, including the

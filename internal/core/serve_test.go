@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"ppstream/internal/protocol"
 	"ppstream/internal/tensor"
 )
 
@@ -124,6 +125,53 @@ func TestEngineServeErrorIsolation(t *testing.T) {
 	}
 	if got := eng.Stats().Counters["serve.requests.err"]; got != 1 {
 		t.Errorf("serve.requests.err = %d", got)
+	}
+}
+
+// TestEngineServeSheds: with MaxInFlight 1, a Submit arriving while the
+// only slot is held fails fast with a retryable error matching
+// protocol.ErrShed — and is counted — instead of queueing; freeing the
+// slot admits again.
+func TestEngineServeSheds(t *testing.T) {
+	eng, err := NewEngine(smallNet(t), key(t), Options{Factor: 1000, ProfileReps: 1, Window: 8, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	x := randInputs(1)[0]
+	// Occupy the only slot as a stand-in for a long-running request.
+	if err := eng.shed.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = eng.Submit(ctx, x)
+	if !errors.Is(err, protocol.ErrShed) {
+		t.Fatalf("submit over the in-flight bound: %v, want ErrShed", err)
+	}
+	if !protocol.Retryable(err) {
+		t.Error("shed rejection must be retryable")
+	}
+	if got := eng.Stats().Counters["serve.requests.shed"]; got != 1 {
+		t.Errorf("serve.requests.shed = %d", got)
+	}
+	eng.shed.Release()
+	if _, _, err := eng.Submit(ctx, x); err != nil {
+		t.Fatalf("submit after slot freed: %v", err)
+	}
+	// The shedder survives a Shutdown/Serve cycle (its latency window and
+	// gauge registration are engine-scoped, not per-Serve).
+	if err := eng.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Serve(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Submit(ctx, x); err != nil {
+		t.Fatalf("submit after restart: %v", err)
 	}
 }
 

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// TestChaosSmoke runs the fault-injection harness once and lets its own
+// invariants gate: full request accounting, observed retries/redials, no
+// goroutine leaks. Under -race this covers the whole failure layer —
+// shedder, limiter, retry loop, redialer, chaos conn — concurrently.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness in -short mode")
+	}
+	res, err := Chaos(quickCfg())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Render())
+	}
+	if res.Completed == 0 || !res.chaosAccounted() {
+		t.Errorf("accounting: %+v", res)
+	}
+	t.Log("\n" + res.Render())
+}

@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestRoundErrorUnwrap: a typed error frame surfaced as RoundError must
+// match its sentinel through errors.Is, and unknown codes match nothing.
+func TestRoundErrorUnwrap(t *testing.T) {
+	cases := []struct {
+		code     int
+		sentinel error
+	}{
+		{CodeThrottled, ErrThrottled},
+		{CodeShed, ErrShed},
+		{CodeDeadline, ErrDeadline},
+		{CodeEvicted, ErrEvicted},
+	}
+	for _, c := range cases {
+		err := error(&RoundError{Round: 0, Code: c.code, Msg: "x"})
+		if !errors.Is(err, c.sentinel) {
+			t.Errorf("code %d does not match %v", c.code, c.sentinel)
+		}
+		for _, other := range cases {
+			if other.code != c.code && errors.Is(err, other.sentinel) {
+				t.Errorf("code %d wrongly matches %v", c.code, other.sentinel)
+			}
+		}
+	}
+	unknown := error(&RoundError{Code: CodeNone, Msg: "legacy peer"})
+	if errors.Is(unknown, ErrThrottled) || errors.Is(unknown, ErrShed) {
+		t.Error("CodeNone matched a sentinel")
+	}
+}
+
+// TestCodeRoundTrip: codeOf inverts codeSentinel, including through
+// wrapping — the property that keeps server-side classification and
+// client-side matching in sync.
+func TestCodeRoundTrip(t *testing.T) {
+	for _, code := range []int{CodeThrottled, CodeShed, CodeDeadline, CodeEvicted} {
+		wrapped := fmt.Errorf("context: %w", codeSentinel(code))
+		if got := codeOf(wrapped); got != code {
+			t.Errorf("codeOf(wrap(sentinel(%d))) = %d", code, got)
+		}
+	}
+	if codeOf(errors.New("plain")) != CodeNone {
+		t.Error("unclassified error did not map to CodeNone")
+	}
+}
+
+// TestRetryableMatrix: only throttle, shed, and torn-session errors are
+// retryable; deadline and eviction are terminal.
+func TestRetryableMatrix(t *testing.T) {
+	retryable := []error{
+		ErrThrottled,
+		ErrShed,
+		fmt.Errorf("%w: dial: connection refused", ErrSessionDown),
+		&RoundError{Code: CodeShed, Msg: "overload"},
+	}
+	for _, err := range retryable {
+		if !Retryable(err) {
+			t.Errorf("%v should be retryable", err)
+		}
+	}
+	terminal := []error{
+		ErrDeadline,
+		ErrEvicted,
+		&RoundError{Code: CodeEvicted, Msg: "stale"},
+		errors.New("protocol violation"),
+	}
+	for _, err := range terminal {
+		if Retryable(err) {
+			t.Errorf("%v should be terminal", err)
+		}
+	}
+}

@@ -21,6 +21,16 @@ type RateLimiter struct {
 	now    func() time.Time
 }
 
+// limiterShrinkMin is the smallest backing capacity worth shrinking, and
+// limiterShrinkFactor how many times the live length the capacity must
+// exceed before Allow reallocates. Together they keep steady-state churn
+// allocation-free while bounding post-burst memory to a small multiple
+// of the live window.
+const (
+	limiterShrinkMin    = 64
+	limiterShrinkFactor = 4
+)
+
 // NewRateLimiter allows up to limit new requests per window.
 func NewRateLimiter(limit int, window time.Duration) (*RateLimiter, error) {
 	if limit <= 0 {
@@ -43,6 +53,14 @@ func (rl *RateLimiter) Allow() bool {
 		if t.After(cutoff) {
 			kept = append(kept, t)
 		}
+	}
+	// Shrink when a past burst left a backing array far larger than the
+	// live window: reusing starts[:0] forever would pin the peak-burst
+	// allocation for the life of the limiter.
+	if cap(kept) >= limiterShrinkMin && cap(kept) > limiterShrinkFactor*len(kept) {
+		shrunk := make([]time.Time, len(kept))
+		copy(shrunk, kept)
+		kept = shrunk
 	}
 	rl.starts = kept
 	if len(rl.starts) >= rl.limit {
@@ -84,7 +102,7 @@ func (mp *ModelProvider) admit() error {
 		return nil
 	}
 	if !rl.Allow() {
-		return fmt.Errorf("protocol: request rate limit exceeded (%d per %v)", rl.limit, rl.window)
+		return fmt.Errorf("%w: rate limit exceeded (%d per %v)", ErrThrottled, rl.limit, rl.window)
 	}
 	return nil
 }

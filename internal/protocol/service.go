@@ -69,6 +69,12 @@ type roundFrame struct {
 	Env   *WireEnvelope
 	TC    *TraceContext
 	Spans []WireSpan
+	// DeadlineMS is the client's remaining per-request budget in
+	// milliseconds at send time — relative, so no cross-party clock sync
+	// is needed. Zero means no deadline (including frames from peers
+	// predating the field). The server refreshes its absolute deadline
+	// from this on every frame and evicts expired requests.
+	DeadlineMS int64
 }
 
 // RegisterServiceWire registers the session frame types with gob.
@@ -93,6 +99,15 @@ type SessionConfig struct {
 	// inactivity, so abandoned requests (client crash, mid-protocol
 	// error) stop leaking permutations; <= 0 uses DefaultIdleTTL.
 	IdleTTL time.Duration
+	// Shed, when non-nil, is the admission controller consulted before a
+	// request's first round creates any per-request state. Share one
+	// Shedder across every session of a server so the in-flight bound is
+	// global; rejected requests get a retryable CodeShed error frame.
+	Shed *Shedder
+	// Limiter, when non-nil, bounds new-request admissions per window
+	// (the paper's model-extraction countermeasure). Rejections travel
+	// as retryable CodeThrottled error frames.
+	Limiter *RateLimiter
 	// Registry, when non-nil, receives session metrics.
 	Registry *obs.Registry
 	// Log, when non-nil, receives structured session events — rejected
@@ -138,25 +153,62 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 type reqState struct {
 	lastRound int
 	lastSeen  time.Time
-	spans     []obs.Segment
+	// deadline is the absolute point the client's propagated budget runs
+	// out, refreshed from each frame's DeadlineMS; zero means none.
+	deadline time.Time
+	// shedHeld marks that this request holds an admission slot in the
+	// session's shared Shedder, released when the entry is removed.
+	shedHeld bool
+	spans    []obs.Segment
 }
 
-// sessionReqs tracks live requests under one session.
+// sessionReqs tracks live requests under one session. Admission-slot
+// release is tied to entry removal (drop, expire, session close) so a
+// slot can never be released twice or leak past the request.
 type sessionReqs struct {
+	shed *Shedder // may be nil: admit everything
 	mu   sync.Mutex
 	live map[uint64]*reqState
 }
 
-func (s *sessionReqs) touch(req uint64, round int) {
+// admitResult classifies what admit decided for one round frame.
+type admitResult int
+
+const (
+	// admitOK: the request is live (created now or known) and may process.
+	admitOK admitResult = iota
+	// admitStale: a round > 0 frame for a request with no live state —
+	// it was evicted (idle or deadline) or never admitted; its
+	// obfuscation chain is gone, so the frame must be rejected.
+	admitStale
+	// admitShed: admission control rejected a new request's first round.
+	admitShed
+)
+
+// admit is the session's single admission point: it creates state for a
+// new request's round-0 frame (consulting the shedder first), refreshes
+// bookkeeping for known requests, and rejects stale mid-protocol frames.
+// deadline, when non-zero, replaces the request's eviction deadline.
+func (s *sessionReqs) admit(req uint64, round int, deadline time.Time) (admitResult, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := s.live[req]
 	if st == nil {
-		st = &reqState{}
+		if round > 0 {
+			return admitStale, nil
+		}
+		if err := s.shed.Acquire(); err != nil {
+			return admitShed, err
+		}
+		st = &reqState{shedHeld: s.shed != nil}
 		s.live[req] = st
 	}
 	st.lastRound = round
 	st.lastSeen = time.Now()
-	s.mu.Unlock()
+	if !deadline.IsZero() {
+		st.deadline = deadline
+	}
+	return admitOK, nil
 }
 
 // addSpans appends server-side trace segments to a live request. The
@@ -182,23 +234,57 @@ func (s *sessionReqs) takeSpans(req uint64) []obs.Segment {
 
 func (s *sessionReqs) drop(req uint64) {
 	s.mu.Lock()
+	st := s.live[req]
 	delete(s.live, req)
 	s.mu.Unlock()
+	if st != nil && st.shedHeld {
+		s.shed.Release()
+	}
 }
 
-// expire removes and returns the requests idle longer than ttl.
-func (s *sessionReqs) expire(ttl time.Duration) []uint64 {
-	cutoff := time.Now().Add(-ttl)
-	var evicted []uint64
+// expire removes requests idle longer than ttl (returned in idle) and
+// requests whose propagated deadline has passed (returned in expired).
+func (s *sessionReqs) expire(ttl time.Duration) (idle, expired []uint64) {
+	now := time.Now()
+	cutoff := now.Add(-ttl)
+	released := 0
 	s.mu.Lock()
 	for req, st := range s.live {
-		if st.lastSeen.Before(cutoff) {
-			delete(s.live, req)
-			evicted = append(evicted, req)
+		switch {
+		case !st.deadline.IsZero() && now.After(st.deadline):
+			expired = append(expired, req)
+		case st.lastSeen.Before(cutoff):
+			idle = append(idle, req)
+		default:
+			continue
 		}
+		if st.shedHeld {
+			released++
+		}
+		delete(s.live, req)
 	}
 	s.mu.Unlock()
-	return evicted
+	for ; released > 0; released-- {
+		s.shed.Release()
+	}
+	return idle, expired
+}
+
+// releaseAll drops every live entry, releasing held admission slots —
+// the session is ending and its shedder outlives it.
+func (s *sessionReqs) releaseAll() {
+	released := 0
+	s.mu.Lock()
+	for req, st := range s.live {
+		if st.shedHeld {
+			released++
+		}
+		delete(s.live, req)
+	}
+	s.mu.Unlock()
+	for ; released > 0; released-- {
+		s.shed.Release()
+	}
 }
 
 func (s *sessionReqs) count() int64 {
@@ -285,9 +371,15 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		return fmt.Errorf("protocol: building provider for session: %w", err)
 	}
 	mp.Instrument(reg)
+	if cfg.Limiter != nil {
+		mp.SetLimiter(cfg.Limiter)
+	}
 	lastRound := mp.Stages() - 1
 
-	reqs := &sessionReqs{live: map[uint64]*reqState{}}
+	reqs := &sessionReqs{shed: cfg.Shed, live: map[uint64]*reqState{}}
+	// The shedder outlives this session: return any slots still held by
+	// live requests when the session ends, whatever the reason.
+	defer reqs.releaseAll()
 	if reg != nil {
 		reg.GaugeFunc("requests.active", reqs.count)
 	}
@@ -309,10 +401,17 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			case <-ctx.Done():
 				return
 			case <-ticker.C:
-				for _, req := range reqs.expire(ttl) {
+				idle, expired := reqs.expire(ttl)
+				for _, req := range idle {
 					mp.Forget(req)
 					if reg != nil {
 						reg.Counter("requests.evicted").Inc()
+					}
+				}
+				for _, req := range expired {
+					mp.Forget(req)
+					if reg != nil {
+						reg.Counter("requests.deadline_evicted").Inc()
 					}
 				}
 			}
@@ -363,7 +462,50 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			}
 			return
 		}
-		reqs.touch(env.Req, frame.Round)
+		// reject answers a frame with a typed error and no processing; the
+		// code tells the client whether a retry can succeed.
+		reject := func(cause error) {
+			if roundErrs != nil {
+				roundErrs.Inc()
+			}
+			slog.Warn("round rejected", "req", env.Req, "round", frame.Round, "err", cause.Error())
+			if sendErr := out.Send(ctx, &stream.Message{
+				Seq: msg.Seq, Err: cause.Error(), ErrCode: codeOf(cause),
+			}); sendErr != nil {
+				recordFatal(sendErr)
+			}
+		}
+		var deadline time.Time
+		if frame.DeadlineMS > 0 {
+			deadline = arrived.Add(time.Duration(frame.DeadlineMS) * time.Millisecond)
+		}
+		switch verdict, admitErr := reqs.admit(env.Req, frame.Round, deadline); verdict {
+		case admitStale:
+			// The janitor evicted this request's state (idle or deadline)
+			// while the client was still driving rounds: its permutation
+			// chain is gone, so processing the frame would return garbage.
+			// Answer with a clean typed error instead.
+			if reg != nil {
+				reg.Counter("requests.stale_rounds").Inc()
+			}
+			reject(fmt.Errorf("%w: no state for request %d round %d", ErrEvicted, env.Req, frame.Round))
+			return
+		case admitShed:
+			reject(admitErr)
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// The budget ran out while the frame sat in the session queue;
+			// processing it would waste crypto work the client will discard.
+			if reg != nil {
+				reg.Counter("requests.deadline_expired").Inc()
+			}
+			reqs.drop(env.Req)
+			mp.Forget(env.Req)
+			reject(fmt.Errorf("%w: request %d budget of %dms spent before round %d started",
+				ErrDeadline, env.Req, frame.DeadlineMS, frame.Round))
+			return
+		}
 		// One meter per round frame: round index == linear-stage index, so
 		// the snapshot IS the per-layer cost profile the trace segment
 		// carries. Profiling labels attribute CPU samples the same way.
@@ -396,11 +538,14 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			// state now rather than waiting for the TTL.
 			reqs.drop(env.Req)
 			mp.Forget(env.Req)
-			if sendErr := out.Send(ctx, &stream.Message{Seq: msg.Seq, Err: err.Error()}); sendErr != nil {
+			if sendErr := out.Send(ctx, &stream.Message{
+				Seq: msg.Seq, Err: err.Error(), ErrCode: codeOf(err),
+			}); sendErr != nil {
 				recordFatal(sendErr)
 			}
 			return
 		}
+		cfg.Shed.Observe(elapsed)
 		slog.Slow("slow linear round", elapsed,
 			"req", env.Req, "round", frame.Round,
 			"kernel_ms", float64(timing.Kernel)/float64(time.Millisecond),
@@ -511,6 +656,21 @@ type ClientOptions struct {
 	// (wire-level multiplexing backpressure); <= 0 uses
 	// DefaultClientWindow.
 	Window int
+	// Deadline bounds each Infer end to end. The remaining budget is
+	// propagated to the server in every round frame so it can evict the
+	// request (and stop burning crypto cycles) the moment the budget is
+	// spent. Zero means no deadline beyond the call's ctx, whose own
+	// deadline is propagated the same way.
+	Deadline time.Duration
+	// Retry bounds in-session retries of a request's first round after a
+	// retryable rejection (throttle, shed). Mid-protocol rounds are never
+	// retried: the server's permutation state advances per round, so a
+	// resend would desynchronize the obfuscation chain. The zero value
+	// uses the RetryPolicy defaults.
+	Retry RetryPolicy
+	// Registry, when non-nil, receives "retry.attempts" and
+	// "retry.giveups" counters for the in-session round-0 retries.
+	Registry *obs.Registry
 }
 
 // DefaultClientWindow is the in-flight bound a client uses when
@@ -523,13 +683,18 @@ const DefaultClientWindow = 8
 // goroutine demuxes the server's replies — so one connection carries
 // Window in-flight inferences at once.
 type Client struct {
-	dp     *DataProvider
-	pk     *paillier.PublicKey
-	in     stream.Edge // frames from the server
-	out    stream.Edge // frames to the server
-	rounds int
-	window chan struct{}
-	nextID atomic.Uint64
+	dp       *DataProvider
+	pk       *paillier.PublicKey
+	in       stream.Edge // frames from the server
+	out      stream.Edge // frames to the server
+	rounds   int
+	window   chan struct{}
+	nextID   atomic.Uint64
+	deadline time.Duration
+	retry    RetryPolicy
+
+	retryAttempts *obs.Counter
+	retryGiveups  *obs.Counter
 
 	mu      sync.Mutex
 	pending map[uint64]chan *stream.Message
@@ -576,6 +741,12 @@ func NewClientOpts(ctx context.Context, in, out stream.Edge, arch *nn.Network, s
 		window:     make(chan struct{}, window),
 		pending:    map[uint64]chan *stream.Message{},
 		readerDone: make(chan struct{}),
+		deadline:   opts.Deadline,
+		retry:      opts.Retry.withDefaults(),
+	}
+	if opts.Registry != nil {
+		c.retryAttempts = opts.Registry.Counter("retry.attempts")
+		c.retryGiveups = opts.Registry.Counter("retry.giveups")
 	}
 	go c.readLoop(ctx)
 	return c, nil
@@ -612,10 +783,15 @@ func (c *Client) readLoop(ctx context.Context) {
 }
 
 // fatal records the session's terminal error and wakes every in-flight
-// Infer.
+// Infer. The error is marked ErrSessionDown: whatever tore the session
+// down, no mid-protocol state survives it on either side, so a caller
+// holding a Redialer may safely retry whole inferences on a fresh one.
 func (c *Client) fatal(err error) {
 	c.mu.Lock()
 	if c.err == nil {
+		if !errors.Is(err, ErrSessionDown) {
+			err = fmt.Errorf("%w: %w", ErrSessionDown, err)
+		}
 		c.err = err
 	}
 	for req, ch := range c.pending {
@@ -631,7 +807,7 @@ func (c *Client) sessionErr() error {
 	if c.err != nil {
 		return c.err
 	}
-	return errors.New("protocol: session closed")
+	return fmt.Errorf("%w: session closed", ErrSessionDown)
 }
 
 // Infer runs one private inference against the remote model provider.
@@ -654,6 +830,17 @@ func (c *Client) Infer(ctx context.Context, x *tensor.Dense) (*tensor.Dense, err
 // server predating trace propagation.
 func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *obs.TraceTree, error) {
 	begin := time.Now()
+	// The effective deadline is the tighter of the client's configured
+	// per-request budget (measured from entry, so window queueing counts)
+	// and the caller's ctx deadline. It is re-measured at every round
+	// send and the remaining budget shipped to the server.
+	var deadline time.Time
+	if c.deadline > 0 {
+		deadline = begin.Add(c.deadline)
+	}
+	if ctxDeadline, ok := ctx.Deadline(); ok && (deadline.IsZero() || ctxDeadline.Before(deadline)) {
+		deadline = ctxDeadline
+	}
 	select {
 	case c.window <- struct{}{}:
 	case <-ctx.Done():
@@ -700,21 +887,57 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 			return nil, nil, err
 		}
 		wireCosts[round].CipherBytesOut = w.CipherBytes()
-		if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: &roundFrame{Round: round, Env: w, TC: tc}}); err != nil {
-			return nil, nil, err
-		}
 		var msg *stream.Message
-		select {
-		case m, ok := <-ch:
-			if !ok {
-				return nil, nil, c.sessionErr()
+		for attempt := 1; ; attempt++ {
+			frame := &roundFrame{Round: round, Env: w, TC: tc}
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					return nil, nil, fmt.Errorf("%w: budget spent before round %d", ErrDeadline, round)
+				}
+				if frame.DeadlineMS = remaining.Milliseconds(); frame.DeadlineMS < 1 {
+					frame.DeadlineMS = 1
+				}
 			}
-			msg = m
-		case <-ctx.Done():
-			return nil, nil, ctx.Err()
-		}
-		if msg.Err != "" {
-			return nil, nil, fmt.Errorf("protocol: server rejected round %d: %s", round, msg.Err)
+			if err := c.out.Send(ctx, &stream.Message{Seq: req, Payload: frame}); err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, err
+				}
+				return nil, nil, fmt.Errorf("%w: %w", ErrSessionDown, err)
+			}
+			select {
+			case m, ok := <-ch:
+				if !ok {
+					return nil, nil, c.sessionErr()
+				}
+				msg = m
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+			if msg.Err == "" {
+				break
+			}
+			rerr := &RoundError{Round: round, Code: msg.ErrCode, Msg: msg.Err}
+			// Only a first-round throttle/shed rejection is retryable in
+			// session: the server rejected it before creating any
+			// per-request state, so resending the identical frame starts
+			// clean. Later rounds are non-idempotent — the server's
+			// permutation state advances each round — and fail through.
+			if round != 0 || !Retryable(rerr) {
+				return nil, nil, rerr
+			}
+			if attempt >= c.retry.MaxAttempts {
+				if c.retryGiveups != nil {
+					c.retryGiveups.Inc()
+				}
+				return nil, nil, fmt.Errorf("protocol: retries exhausted: %w", rerr)
+			}
+			if c.retryAttempts != nil {
+				c.retryAttempts.Inc()
+			}
+			if err := retrySleep(ctx, c.retry.backoff(attempt)); err != nil {
+				return nil, nil, err
+			}
 		}
 		frame, ok := msg.Payload.(*roundFrame)
 		if !ok {

@@ -1,0 +1,173 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppstream/internal/obs"
+)
+
+// Shedder is the serving plane's admission controller: it rejects a
+// request's first round — before any per-request crypto state exists —
+// when the server is overloaded, so excess demand fails fast with a
+// retryable typed error instead of queueing unboundedly behind work the
+// server cannot finish in time.
+//
+// Overload is judged two ways: a hard in-flight bound (requests admitted
+// but not yet released) and a latency target compared against a windowed
+// p95 of recent request latencies. The window is kept inside the Shedder
+// because obs.Histogram is cumulative over the process lifetime — a
+// morning's fast requests would mask an afternoon collapse.
+type Shedder struct {
+	maxInFlight int64
+	target      time.Duration
+
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	ring    []int64 // recent latency observations, nanoseconds
+	next    int
+	filled  bool
+	unseen  int   // observations since the cached p95 was computed
+	p95     int64 // cached windowed p95, nanoseconds
+
+	rejectedTotal    *obs.Counter
+	rejectedInflight *obs.Counter
+	rejectedLatency  *obs.Counter
+}
+
+// ShedConfig parameterizes a Shedder. Zero values disable the
+// corresponding check; a config with both zero admits everything.
+type ShedConfig struct {
+	// MaxInFlight is the hard bound on admitted-but-unreleased requests;
+	// <= 0 disables the in-flight check.
+	MaxInFlight int64
+	// LatencyTarget sheds new requests while the windowed p95 of recent
+	// request latencies exceeds it; <= 0 disables the latency check.
+	LatencyTarget time.Duration
+	// Registry, when non-nil, receives "shed.rejected.total",
+	// "shed.rejected.inflight", "shed.rejected.latency" counters and the
+	// "shed.inflight" gauge.
+	Registry *obs.Registry
+}
+
+// shedWindow is how many recent latency observations drive the p95.
+const shedWindow = 128
+
+// shedRecompute is how many observations may accumulate before the
+// cached p95 is recomputed (amortizes the sort).
+const shedRecompute = 16
+
+// NewShedder builds an admission controller. Share one Shedder across
+// every session of a server so the in-flight bound is global.
+func NewShedder(cfg ShedConfig) *Shedder {
+	s := &Shedder{
+		maxInFlight: cfg.MaxInFlight,
+		target:      cfg.LatencyTarget,
+		ring:        make([]int64, shedWindow),
+	}
+	if reg := cfg.Registry; reg != nil {
+		s.rejectedTotal = reg.Counter("shed.rejected.total")
+		s.rejectedInflight = reg.Counter("shed.rejected.inflight")
+		s.rejectedLatency = reg.Counter("shed.rejected.latency")
+		reg.GaugeFunc("shed.inflight", s.inflight.Load)
+	}
+	return s
+}
+
+// Acquire admits one request or rejects it with an ErrShed-wrapped
+// error. Every successful Acquire must be paired with exactly one
+// Release. Nil receivers admit everything.
+func (s *Shedder) Acquire() error {
+	if s == nil {
+		return nil
+	}
+	if s.maxInFlight > 0 {
+		if n := s.inflight.Add(1); n > s.maxInFlight {
+			s.inflight.Add(-1)
+			if s.rejectedTotal != nil {
+				s.rejectedTotal.Inc()
+				s.rejectedInflight.Inc()
+			}
+			return fmt.Errorf("%w: %d requests in flight (limit %d)", ErrShed, n-1, s.maxInFlight)
+		}
+	} else {
+		s.inflight.Add(1)
+	}
+	if s.target > 0 {
+		if p95 := s.recentP95(); p95 > int64(s.target) {
+			s.inflight.Add(-1)
+			if s.rejectedTotal != nil {
+				s.rejectedTotal.Inc()
+				s.rejectedLatency.Inc()
+			}
+			return fmt.Errorf("%w: recent p95 latency %v exceeds target %v",
+				ErrShed, time.Duration(p95), s.target)
+		}
+	}
+	return nil
+}
+
+// Release returns one admitted request's slot. Nil-safe.
+func (s *Shedder) Release() {
+	if s == nil {
+		return
+	}
+	s.inflight.Add(-1)
+}
+
+// Observe records one completed request's latency into the recent
+// window. Nil-safe.
+func (s *Shedder) Observe(d time.Duration) {
+	if s == nil || s.target <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.next] = int64(d)
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.filled = true
+	}
+	s.unseen++
+	s.mu.Unlock()
+}
+
+// InFlight reports the currently admitted request count.
+func (s *Shedder) InFlight() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.inflight.Load()
+}
+
+// recentP95 returns the cached windowed p95, recomputing it when enough
+// new observations have accumulated. Zero until any were recorded.
+func (s *Shedder) recentP95() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.next
+	if s.filled {
+		n = len(s.ring)
+	}
+	if n == 0 {
+		return 0
+	}
+	if s.unseen >= shedRecompute || s.p95 == 0 {
+		s.unseen = 0
+		buf := make([]int64, n)
+		copy(buf, s.ring[:n])
+		// Insertion sort: n <= 128, and this runs once per shedRecompute
+		// observations, off any crypto path.
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j-1] > buf[j]; j-- {
+				buf[j-1], buf[j] = buf[j], buf[j-1]
+			}
+		}
+		idx := (95 * (len(buf) - 1)) / 100
+		s.p95 = buf[idx]
+	}
+	return s.p95
+}

@@ -1,0 +1,75 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ppstream/internal/obs"
+)
+
+// TestShedderInFlightBound: the hard in-flight bound rejects the N+1st
+// admission with a typed retryable error and recovers on Release.
+func TestShedderInFlightBound(t *testing.T) {
+	reg := obs.NewRegistry("shed")
+	s := NewShedder(ShedConfig{MaxInFlight: 2, Registry: reg})
+	if err := s.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Acquire()
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("third acquire: %v", err)
+	}
+	if !Retryable(err) {
+		t.Error("shed rejection must be retryable")
+	}
+	if s.InFlight() != 2 {
+		t.Errorf("in-flight %d after rejected acquire", s.InFlight())
+	}
+	s.Release()
+	if err := s.Acquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shed.rejected.total"] != 1 || snap.Counters["shed.rejected.inflight"] != 1 {
+		t.Errorf("rejection counters: %+v", snap.Counters)
+	}
+}
+
+// TestShedderLatencyTarget: sustained slow latencies trip the windowed
+// p95 check; a window full of fast ones clears it again — the cumulative
+// histogram would never recover, the ring does.
+func TestShedderLatencyTarget(t *testing.T) {
+	s := NewShedder(ShedConfig{LatencyTarget: 10 * time.Millisecond})
+	for i := 0; i < shedWindow; i++ {
+		s.Observe(100 * time.Millisecond)
+	}
+	err := s.Acquire()
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("overloaded shedder admitted: %v", err)
+	}
+	for i := 0; i < shedWindow; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if err := s.Acquire(); err != nil {
+		t.Fatalf("recovered shedder still rejecting: %v", err)
+	}
+	s.Release()
+}
+
+// TestShedderNil: a nil shedder admits everything — sessions without
+// admission control configured pay nothing.
+func TestShedderNil(t *testing.T) {
+	var s *Shedder
+	if err := s.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	s.Observe(time.Second)
+	if s.InFlight() != 0 {
+		t.Error("nil shedder reports in-flight")
+	}
+}

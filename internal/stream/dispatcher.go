@@ -39,6 +39,17 @@ type Dispatcher struct {
 	pending map[uint64]chan *Message
 	err     error
 	closed  bool
+	// submitting counts Submit calls past the closed-check that have not
+	// yet finished enqueuing. Close waits for them before closing the
+	// pipeline's intake edge, so a Submit that won the admission race can
+	// never send on a closed edge.
+	submitting sync.WaitGroup
+
+	// down is closed when the reader terminates with an error, so window
+	// waiters unblock even though the slots held by in-flight requests at
+	// failure time will never be released.
+	down     chan struct{}
+	downOnce sync.Once
 
 	readerDone chan struct{}
 }
@@ -54,6 +65,7 @@ func NewDispatcher(ctx context.Context, p *Pipeline, window int) (*Dispatcher, e
 	d := &Dispatcher{
 		p:          p,
 		pending:    map[uint64]chan *Message{},
+		down:       make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
 	if window > 0 {
@@ -96,7 +108,11 @@ func (d *Dispatcher) read(ctx context.Context) {
 	}
 }
 
-// fail records the terminal error and wakes every waiter.
+// fail records the terminal error, wakes every waiter, and unblocks
+// window waiters: requests in flight at failure time will never leave
+// the pipeline through the reader, so their slots would otherwise stay
+// occupied forever and later Submits would block on the window without
+// ever seeing the terminal error.
 func (d *Dispatcher) fail(err error) {
 	d.mu.Lock()
 	if d.err == nil {
@@ -107,6 +123,7 @@ func (d *Dispatcher) fail(err error) {
 		delete(d.pending, seq)
 	}
 	d.mu.Unlock()
+	d.downOnce.Do(func() { close(d.down) })
 }
 
 // Future is one submitted request's completion handle.
@@ -146,22 +163,35 @@ func (d *Dispatcher) terminalErr() error {
 
 // Submit reserves a sequence number, registers the completion route, and
 // enqueues the payload. It blocks while the in-flight window (and then
-// the pipeline's first edge) is full.
+// the pipeline's first edge) is full; a dispatcher that terminated while
+// the caller was waiting returns the terminal error rather than blocking
+// forever on slots no reader will ever release.
 func (d *Dispatcher) Submit(ctx context.Context, payload any) (*Future, error) {
 	if d.window != nil {
 		select {
 		case d.window <- struct{}{}:
+		case <-d.down:
+			return nil, d.terminalErr()
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		}
+	}
+	release := func() {
+		if d.window != nil {
+			// Non-blocking: after a failure the reader is gone and the
+			// window is write-only; the down channel already unblocks
+			// future submitters.
+			select {
+			case <-d.window:
+			default:
+			}
 		}
 	}
 	d.mu.Lock()
 	if d.closed || d.err != nil {
 		err := d.err
 		d.mu.Unlock()
-		if d.window != nil {
-			<-d.window
-		}
+		release()
 		if err == nil {
 			err = ErrDispatcherClosed
 		}
@@ -170,17 +200,18 @@ func (d *Dispatcher) Submit(ctx context.Context, payload any) (*Future, error) {
 	seq := d.p.Reserve()
 	ch := make(chan *Message, 1)
 	d.pending[seq] = ch
+	d.submitting.Add(1)
 	d.mu.Unlock()
 
 	d.inflight.Add(1)
-	if err := d.p.SubmitReserved(ctx, seq, payload); err != nil {
+	err := d.p.SubmitReserved(ctx, seq, payload)
+	d.submitting.Done()
+	if err != nil {
 		d.inflight.Add(-1)
 		d.mu.Lock()
 		delete(d.pending, seq)
 		d.mu.Unlock()
-		if d.window != nil {
-			<-d.window
-		}
+		release()
 		return nil, err
 	}
 	return &Future{d: d, seq: seq, ch: ch}, nil
@@ -215,6 +246,10 @@ func (d *Dispatcher) Close() error {
 	d.closed = true
 	d.mu.Unlock()
 	if !already {
+		// Admission is stopped (closed is set), but a Submit that passed
+		// the closed check may still be enqueuing: closing the intake edge
+		// under it would panic the send. Wait them out first.
+		d.submitting.Wait()
 		d.p.Close()
 	}
 	<-d.readerDone

@@ -185,3 +185,88 @@ func TestDispatcherClose(t *testing.T) {
 		t.Errorf("submit after close: %v", err)
 	}
 }
+
+// TestDispatcherSubmitCloseRace: Submits racing Close must never panic
+// (a Submit past the closed-check sending on a closed intake edge) nor
+// deadlock; every Submit either errors or yields a Future whose Wait
+// terminates. Run under -race.
+func TestDispatcherSubmitCloseRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		d, err := NewDispatcher(ctx, dispPipeline(t), 4)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		const n = 16
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				f, err := d.Submit(ctx, i)
+				if err != nil {
+					return // lost the race with Close: acceptable
+				}
+				// Wait must terminate: with a result before the close
+				// barrier, or the dispatcher's terminal error.
+				if _, err := f.Wait(ctx); err != nil && !errors.Is(err, ErrDispatcherClosed) {
+					t.Errorf("wait: %v", err)
+				}
+			}()
+		}
+		closed := make(chan error, 1)
+		go func() {
+			<-start
+			closed <- d.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if err := <-closed; err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		cancel()
+	}
+}
+
+// TestDispatcherFailReleasesWindow: when the reader dies (here: its ctx
+// cancelled under a stalled stage), in-flight requests will never
+// release their window slots — later Submits must still unblock with
+// the terminal error instead of waiting forever on the full window.
+func TestDispatcherFailReleasesWindow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stall := HandlerFunc{StageName: "stall", Fn: func(ctx context.Context, m *Message) (*Message, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	p, err := NewPipeline(1, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDispatcher(ctx, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(ctx, 1); err != nil { // fills the window
+		t.Fatal(err)
+	}
+	cancel() // kills the reader with the slot still held
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	for {
+		_, err := d.Submit(waitCtx, 2)
+		if err == nil {
+			// Won the race with the reader's own demise; the slot came
+			// back, try again until the failure is recorded.
+			continue
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatal("Submit hung on a window slot the failed reader will never release")
+		}
+		break // terminal dispatcher error: the fix works
+	}
+}

@@ -87,6 +87,7 @@ func (e *channelEdge) Depth() (int, int) { return len(e.ch), cap(e.ch) }
 type wireFrame struct {
 	Seq           uint64
 	Err           string
+	ErrCode       int
 	Close         bool
 	Payload       any
 	Trace         *Trace
@@ -247,7 +248,7 @@ func (e *tcpEdge) Send(ctx context.Context, m *Message) error {
 	e.sendMu.Lock()
 	defer e.sendMu.Unlock()
 	frame := wireFrame{
-		Seq: m.Seq, Err: m.Err, Payload: m.Payload, Trace: m.Trace,
+		Seq: m.Seq, Err: m.Err, ErrCode: m.ErrCode, Payload: m.Payload, Trace: m.Trace,
 		FailedStage: m.FailedStage, FailedPayload: m.FailedPayload,
 	}
 	if err := e.enc.Encode(&frame); err != nil {
@@ -274,7 +275,7 @@ func (e *tcpEdge) Recv(ctx context.Context) (*Message, error) {
 		e.framesRecv.Inc()
 	}
 	return &Message{
-		Seq: frame.Seq, Err: frame.Err, Payload: frame.Payload, Trace: frame.Trace,
+		Seq: frame.Seq, Err: frame.Err, ErrCode: frame.ErrCode, Payload: frame.Payload, Trace: frame.Trace,
 		FailedStage: frame.FailedStage, FailedPayload: frame.FailedPayload,
 	}, nil
 }

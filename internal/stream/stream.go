@@ -33,6 +33,12 @@ type Message struct {
 	// Err carries a processing failure downstream so the submitter
 	// learns about it; stages pass errored messages through untouched.
 	Err string
+	// ErrCode is a machine-readable classification of Err (see
+	// internal/protocol's Code* constants): it lets a remote peer
+	// distinguish retryable rejections (throttle, shed) from fatal
+	// protocol errors without parsing the message text. Zero means
+	// unclassified — frames from peers predating the field decode as 0.
+	ErrCode int
 	// FailedStage names the stage whose handler produced Err.
 	FailedStage string
 	// FailedPayload preserves the payload that was fed to the failing
