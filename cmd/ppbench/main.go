@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|chaos|top|all>
+//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|backends|chaos|top|all>
 //
 // Flags:
 //
@@ -16,7 +16,7 @@
 //	-real          wall-clock measurement instead of the calibrated
 //	               latency model (use on multi-core hosts)
 //	-json          also write a versioned BENCH_<experiment>.json record
-//	               (kernel, serve, trace) for CI artifact upload
+//	               (kernel, serve, trace, backends) for CI artifact upload
 //
 // `ppbench top` is a live console view over a running ppserver's
 // /metrics endpoint: per-tick request/round throughput, crypto-op rates
@@ -61,6 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  stages   per-stage latency percentiles (p50/p95/p99) from real streaming runs\n")
 		fmt.Fprintf(os.Stderr, "  serve    sustained throughput over one multiplexed TCP session at varying client concurrency\n")
 		fmt.Fprintf(os.Stderr, "  trace    merged cross-party trace over TCP: per-segment (client/wire/server) p50/p95/p99\n")
+		fmt.Fprintf(os.Stderr, "  backends per-round crypto-backend comparison: one live TCP session per profile (latency/privacy-max/mixed), per-round kernel medians and per-backend cost counters\n")
 		fmt.Fprintf(os.Stderr, "  chaos    fault-injection smoke: injected delays/resets plus shed/throttle pressure; fails on lost requests or goroutine leaks\n")
 		fmt.Fprintf(os.Stderr, "  top      live console view over a running ppserver's /metrics (see -addr, -every, -iters)\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
@@ -210,6 +211,17 @@ func run(name string, cfg experiments.Config, jsonOut bool) error {
 		}
 	case "trace":
 		res, err := experiments.TraceBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if jsonOut {
+			if err := emitJSON(name, cfg, res); err != nil {
+				return err
+			}
+		}
+	case "backends":
+		res, err := experiments.BackendsBench(cfg)
 		if err != nil {
 			return err
 		}

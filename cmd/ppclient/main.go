@@ -15,6 +15,12 @@
 // session: their round frames interleave on one connection and the
 // client prints aggregate throughput alongside per-inference results.
 //
+// With -profile, the client requests a backend profile (latency,
+// privacy-max, mixed); the session runs the stricter of the request and
+// the server's policy, and the client validates the announced per-round
+// plan before honoring it — a privacy-max client rejects any plan that
+// moves a round off Paillier.
+//
 // With -trace, every inference carries a distributed trace ID; the
 // client prints the first request's merged cross-party trace (its own
 // spans, the server's spans shipped back in the final round frame, and
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"ppstream"
+	"ppstream/internal/backend"
 	"ppstream/internal/models"
 	"ppstream/internal/obs"
 	"ppstream/internal/protocol"
@@ -47,6 +54,7 @@ func main() {
 	count := flag.Int("n", 3, "number of inferences to run")
 	concurrency := flag.Int("concurrency", 1, "concurrent in-flight inferences over the one session")
 	trace := flag.Bool("trace", false, "print the merged cross-party trace and per-segment breakdown")
+	profile := flag.String("profile", "", "requested backend profile (latency, privacy-max, mixed; empty = privacy-max); the session runs the stricter of this and the server's policy")
 	deadline := flag.Duration("deadline", 0, "per-inference deadline budget, propagated to the server on every round frame (0 = none)")
 	retries := flag.Int("retries", protocol.DefaultRetryAttempts, "max attempts when the server sheds or throttles a request start")
 	flag.Parse()
@@ -77,6 +85,7 @@ func main() {
 		Window:   *concurrency,
 		Deadline: *deadline,
 		Retry:    protocol.RetryPolicy{MaxAttempts: *retries},
+		Profile:  backend.Profile(*profile),
 	}
 	client, err := protocol.NewClientOpts(ctx, edge, edge, arch, key, *factor, opts)
 	if err != nil {

@@ -15,7 +15,16 @@
 // are evicted immediately. Admission control is global across sessions:
 // -maxinflight and -shed reject excess or overload-era requests with a
 // retryable typed shed error, and -ratelimit/-ratewindow throttle new
-// requests per sliding window — clients retry both with backoff. With -metrics set, the server's registry (session
+// requests per sliding window — clients retry both with backoff.
+//
+// -profile caps the per-round crypto-backend posture: each session runs
+// the STRICTER of this policy and the client's requested profile
+// (privacy-max > mixed > latency), and the solved per-round assignment
+// rides the round-0 reply for the client to validate. -clearboundary
+// admits plaintext execution for trailing rounds at or past the
+// leakage-certified boundary (never round 0); leave it 0 unless an
+// internal/leakage distance-correlation certification of this model
+// says otherwise. With -metrics set, the server's registry (session
 // counts, per-round latency percentiles including the kernel/permute
 // split, TCP byte/frame counters, runtime gauges) is served at
 // http://<addr>/metrics — JSON by default, Prometheus text at
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"ppstream"
+	"ppstream/internal/backend"
 	"ppstream/internal/obs"
 	"ppstream/internal/protocol"
 	"ppstream/internal/stream"
@@ -60,6 +70,8 @@ func main() {
 	rateLimit := flag.Int("ratelimit", 0, "throttle new requests beyond this many per -ratewindow (0 disables)")
 	rateWindow := flag.Duration("ratewindow", time.Second, "sliding window for -ratelimit")
 	metricsAddr := flag.String("metrics", "", "serve metrics (JSON + Prometheus) + health + pprof on this address (e.g. :7200; empty disables)")
+	profile := flag.String("profile", "", "backend-profile policy cap: sessions run the stricter of this and the client's request (latency, privacy-max, mixed; empty = privacy-max)")
+	clearBoundary := flag.Int("clearboundary", 0, "leakage-certified clear boundary: first linear round allowed to run plaintext (0 = never; certify with internal/leakage before lowering)")
 	slow := flag.Duration("slow", 0, "log rounds slower than this with their trace ID (0 disables)")
 	debugLog := flag.Bool("debug", false, "emit debug-level log lines")
 	flightN := flag.Int("flight", obs.DefaultFlightRecent, "flight recorder ring size: keep the last N request traces with cost profiles at /debug/flight and on SIGQUIT (0 disables)")
@@ -76,6 +88,12 @@ func main() {
 		level = obs.LevelDebug
 	}
 	logger := obs.NewLogger(os.Stdout, level).SetSlowThreshold(*slow)
+
+	srvProfile, err := backend.ParseProfile(*profile)
+	if err != nil {
+		logger.Error("bad -profile", "err", err.Error())
+		os.Exit(2)
+	}
 
 	netModel, err := ppstream.LoadModel(*modelPath)
 	if err != nil {
@@ -158,6 +176,8 @@ func main() {
 		"max_workers", *maxWorkers,
 		"idle_ttl", idleTTL.String(),
 		"slow_threshold", slow.String(),
+		"profile", string(srvProfile),
+		"clear_boundary", *clearBoundary,
 	)
 
 	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
@@ -209,15 +229,17 @@ func main() {
 			slog := logger.With("remote", remote)
 			slog.Info("session opened")
 			cfg := protocol.SessionConfig{
-				Factor:     *factor,
-				MaxWorkers: *maxWorkers,
-				Window:     *window,
-				IdleTTL:    *idleTTL,
-				Shed:       shed,
-				Limiter:    limiter,
-				Registry:   reg,
-				Log:        slog,
-				Flight:     flight,
+				Factor:        *factor,
+				MaxWorkers:    *maxWorkers,
+				Window:        *window,
+				IdleTTL:       *idleTTL,
+				Shed:          shed,
+				Limiter:       limiter,
+				Registry:      reg,
+				Log:           slog,
+				Flight:        flight,
+				Profile:       srvProfile,
+				ClearBoundary: *clearBoundary,
 			}
 			if err := protocol.ServeSessionConfig(ctx, edge, edge, netModel, cfg); err != nil {
 				slog.Warn("session failed", "err", err.Error())

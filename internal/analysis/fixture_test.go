@@ -158,6 +158,8 @@ func TestMetricnamesFixture(t *testing.T) {
 func TestWirecompatFixture(t *testing.T) {
 	// The fixture lock declares Factor as int64 (source retyped it to
 	// int32), a removed field Hello.Gone, and a removed struct Dropped.
+	// Hello also carries two ADDITIVE fields the lock predates (Profile,
+	// Plan — the backend-negotiation evolution); those must not fire.
 	pkg := fixturePkg(t, "wirecompat", "fix/protocol")
 	a := NewWirecompatAnalyzer(WirecompatConfig{
 		LockPath: filepath.Join("testdata", "wirecompat", "wire.lock"),
@@ -189,6 +191,13 @@ func TestWirecompatFixture(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("missing diagnostic %q at %s:\n%v", e.msgPart, e.file, diags)
+		}
+	}
+	// Additive evolution stays silent: the new fields the lock predates
+	// must produce no diagnostic.
+	for _, d := range diags {
+		if regexp.MustCompile(`Profile|Plan`).MatchString(d.Msg) {
+			t.Errorf("additive field flagged: %v", d)
 		}
 	}
 }

@@ -5,10 +5,16 @@ package protocol
 
 // Hello mirrors the protocol handshake frame. Factor was retyped from
 // int64 (as locked) to int32, and the locked field Gone was deleted.
+// Profile and Plan mirror the backend-negotiation evolution: both are
+// ADDITIVE fields absent from the fixture lock, which the analyzer must
+// accept silently — gob decodes frames lacking them to zero values, so
+// old peers keep interoperating.
 type Hello struct {
 	N       []byte
 	Factor  int32
 	Workers int
+	Profile string
+	Plan    []int32
 	hidden  int // unexported: gob never encodes it, so it is not locked
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ppstream/internal/alloc"
+	"ppstream/internal/backend"
 	"ppstream/internal/nn"
 	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
@@ -95,6 +96,15 @@ type Options struct {
 	// ShedLatency sheds new requests while the windowed p95 of recent
 	// serve latencies exceeds it; <= 0 disables the latency shed check.
 	ShedLatency time.Duration
+	// Profile selects the per-round crypto-backend posture (latency,
+	// privacy-max, mixed). Empty means privacy-max: every round under
+	// Paillier, the paper's original protocol.
+	Profile backend.Profile
+	// ClearBoundary is the leakage-certified clear boundary: the first
+	// linear round allowed to run plaintext (from an
+	// internal/leakage.CertifyClearBoundary run). <= 0 means no round
+	// may run in the clear regardless of profile.
+	ClearBoundary int
 }
 
 // Engine is a ready-to-run PP-Stream deployment for one model.
@@ -104,6 +114,9 @@ type Engine struct {
 	Plan     *alloc.Plan
 	Layers   []alloc.Layer
 	Servers  []alloc.Server
+	// Backends is the solved per-round crypto-backend assignment for
+	// Options.Profile (privacy-max when unset).
+	Backends *backend.Plan
 	// EncryptTime is the profiled input encryption time (seconds per
 	// request, single thread).
 	EncryptTime float64
@@ -202,6 +215,13 @@ func NewEngine(net *nn.Network, key *paillier.PrivateKey, opts Options) (*Engine
 	}
 	if err := e.applyPlan(); err != nil {
 		return nil, err
+	}
+	// Backend planning last: the ILP picks one crypto backend per linear
+	// round under the profile's rules (empty profile = privacy-max = all
+	// Paillier, the legacy behavior).
+	e.Backends, err = proto.ApplyProfile(opts.Profile, opts.ClearBoundary)
+	if err != nil {
+		return nil, fmt.Errorf("core: backend planning: %w", err)
 	}
 	return e, nil
 }
@@ -349,6 +369,9 @@ type StageReport struct {
 	Time    float64 // profiled seconds per request, single thread
 	Server  string
 	Threads int
+	// Backend names the crypto backend the ILP assigned to this round
+	// (linear stages only; empty for non-linear stages).
+	Backend string
 	// CommWithPart / CommWithoutPart are in ciphertext elements per
 	// request (zero for non-linear stages).
 	CommWithPart    int
@@ -374,6 +397,9 @@ func (e *Engine) Report() ([]StageReport, error) {
 				return nil, err
 			}
 			r.CommWithPart, r.CommWithoutPart = with, without
+			if e.Backends != nil && li < len(e.Backends.Assignment) {
+				r.Backend = string(e.Backends.Assignment[li])
+			}
 			li++
 		}
 		out[i] = r

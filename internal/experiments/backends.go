@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	mathrand "math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ppstream/internal/backend"
+	"ppstream/internal/nn"
+	"ppstream/internal/obs"
+	"ppstream/internal/protocol"
+	"ppstream/internal/stream"
+	"ppstream/internal/tensor"
+)
+
+// This file benchmarks the pluggable per-round crypto backends: one
+// live TCP session per deployment profile against the same three-round
+// network, so the rows compare what each profile's ILP-chosen
+// assignment costs per round and in crypto-op counters. The mixed
+// profile with the certified boundary at round 2 exercises all three
+// backends (paillier-he, ss-gc, clear) inside a single request.
+
+// backendsBoundary is the leakage-certified clear boundary used by the
+// benchmark: the last round of the three-round net runs plaintext under
+// the latency/mixed profiles.
+const backendsBoundary = 2
+
+// backendsNet builds the three-linear-round network the backend
+// benchmark plans over: round 0 must stay Paillier, round 1 is followed
+// by a ReLU (the garbled-circuit case for ss-gc) and is sized so ss-gc
+// beats Paillier even at the benchmark's small key sizes, and round 2
+// sits past the certified boundary.
+func backendsNet() (*nn.Network, error) {
+	r := mathrand.New(mathrand.NewSource(23))
+	return nn.NewNetwork("backends-bench", tensor.Shape{8},
+		nn.NewFC("fc1", 8, 16, r),
+		nn.NewReLU("relu1"),
+		nn.NewFC("fc2", 16, 20, r),
+		nn.NewReLU("relu2"),
+		nn.NewFC("fc3", 20, 3, r),
+		nn.NewSoftMax("softmax"),
+	)
+}
+
+// BackendsRound is one linear round's measurement under one profile:
+// which backend the ILP assigned and the median kernel / client
+// non-linear times across requests.
+type BackendsRound struct {
+	Round        int           `json:"round"`
+	Backend      string        `json:"backend"`
+	KernelP50    time.Duration `json:"kernel_p50_ns"`
+	NonlinearP50 time.Duration `json:"nonlinear_p50_ns"`
+}
+
+// BackendsProfile is one profile's full measurement: the solved
+// assignment (read back from the merged traces' per-segment backend
+// labels — the same visibility operators get), per-round medians, the
+// mean end-to-end latency, and the server's per-backend cost counters.
+type BackendsProfile struct {
+	Profile     string          `json:"profile"`
+	Requests    int             `json:"requests"`
+	Assignment  []string        `json:"assignment"`
+	MeanLatency time.Duration   `json:"mean_latency_ns"`
+	Rounds      []BackendsRound `json:"rounds"`
+	// Costs holds the server registry's nonzero per-backend cost
+	// counters ("cost.ss_gc.triples", "cost.clear.plain_ops", ...).
+	Costs map[string]uint64 `json:"costs"`
+}
+
+// BackendsBenchResult is the `ppbench backends` output, one row set per
+// deployment profile over identical sessions.
+type BackendsBenchResult struct {
+	KeyBits       int               `json:"key_bits"`
+	ClearBoundary int               `json:"clear_boundary"`
+	Profiles      []BackendsProfile `json:"profiles"`
+}
+
+// BackendsBench measures every deployment profile over a live TCP
+// session each: the server policy is latency (the least strict cap) so
+// the client's requested profile decides the posture, and the clear
+// boundary is fixed at backendsBoundary.
+func BackendsBench(cfg Config) (*BackendsBenchResult, error) {
+	cfg = cfg.withDefaults()
+	protocol.RegisterServiceWire()
+	n := cfg.Requests
+	if n < 4 {
+		n = 4
+	}
+	if cfg.Quick && n > 4 {
+		n = 4
+	}
+	res := &BackendsBenchResult{KeyBits: cfg.KeyBits, ClearBoundary: backendsBoundary}
+	for _, prof := range backend.Profiles() {
+		row, err := backendsProfileRun(cfg, prof, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: backends profile %s: %w", prof, err)
+		}
+		res.Profiles = append(res.Profiles, *row)
+	}
+	return res, nil
+}
+
+// backendsProfileRun serves one session under the given client profile
+// and measures n traced requests.
+func backendsProfileRun(cfg Config, prof backend.Profile, n int) (*BackendsProfile, error) {
+	netw, err := backendsNet()
+	if err != nil {
+		return nil, err
+	}
+	key, err := sharedKey(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	serverEdge, addr, err := stream.ListenEdge("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	reg := obs.NewRegistry("backends-bench/" + string(prof))
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- protocol.ServeSessionConfig(ctx, serverEdge, serverEdge, netw, protocol.SessionConfig{
+			Factor:        serveFactor,
+			MaxWorkers:    2,
+			Window:        2,
+			Registry:      reg,
+			Profile:       backend.ProfileLatency,
+			ClearBoundary: backendsBoundary,
+		})
+	}()
+	clientEdge, err := stream.DialEdge(addr)
+	if err != nil {
+		return nil, err
+	}
+	client, err := protocol.NewClientOpts(ctx, clientEdge, clientEdge, netw, key, serveFactor,
+		protocol.ClientOptions{Workers: 1, Window: 2, Profile: prof})
+	if err != nil {
+		return nil, err
+	}
+
+	r := mathrand.New(mathrand.NewSource(31))
+	trees := make([]*obs.TraceTree, 0, n)
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		x := tensor.Zeros(8)
+		for j := range x.Data() {
+			x.Data()[j] = r.NormFloat64()
+		}
+		_, tree, ierr := client.InferTraced(ctx, x)
+		if ierr != nil {
+			client.Close()
+			<-serveErr
+			return nil, fmt.Errorf("request %d: %w", i, ierr)
+		}
+		trees = append(trees, tree)
+		total += tree.Total
+	}
+	if cerr := client.Close(); cerr != nil {
+		return nil, cerr
+	}
+	if serr := <-serveErr; serr != nil {
+		return nil, fmt.Errorf("server session: %w", serr)
+	}
+
+	row := &BackendsProfile{
+		Profile:     string(prof),
+		Requests:    n,
+		MeanLatency: total / time.Duration(n),
+		Costs:       map[string]uint64{},
+	}
+	// Per-round attribution straight from the merged traces: the kernel
+	// segment's backend label IS the assignment the server announced.
+	rounds := backendsRoundCount(trees)
+	for rd := 0; rd < rounds; rd++ {
+		var kernel, nonlinear []time.Duration
+		backendName := ""
+		for _, t := range trees {
+			for _, s := range t.Segments {
+				if s.Round != rd {
+					continue
+				}
+				switch {
+				case s.Party == "server" && s.Name == "kernel":
+					kernel = append(kernel, s.Dur)
+					if s.Backend != "" {
+						backendName = s.Backend
+					}
+				case s.Party == "client" && s.Name == "nonlinear":
+					nonlinear = append(nonlinear, s.Dur)
+				}
+			}
+		}
+		row.Assignment = append(row.Assignment, backendName)
+		row.Rounds = append(row.Rounds, BackendsRound{
+			Round:        rd,
+			Backend:      backendName,
+			KernelP50:    median(kernel),
+			NonlinearP50: median(nonlinear),
+		})
+	}
+	for name, v := range reg.Snapshot().Counters {
+		if v == 0 || !strings.HasPrefix(name, "cost.") {
+			continue
+		}
+		for _, k := range backend.Kinds() {
+			if strings.HasPrefix(name, "cost."+k.MetricName()+".") {
+				row.Costs[name] = v
+			}
+		}
+	}
+	return row, nil
+}
+
+// backendsRoundCount reads the round count from the traces' largest
+// round index.
+func backendsRoundCount(trees []*obs.TraceTree) int {
+	max := -1
+	for _, t := range trees {
+		for _, s := range t.Segments {
+			if s.Round > max {
+				max = s.Round
+			}
+		}
+	}
+	return max + 1
+}
+
+// median returns the p50 of an unsorted duration set.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// Render formats per-profile assignment tables and the per-backend cost
+// counters.
+func (r *BackendsBenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Backend profiles over live TCP sessions (%d-bit key, clear boundary %d):\n",
+		r.KeyBits, r.ClearBoundary)
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "\nprofile %-12s  %d requests, mean latency %v\n",
+			p.Profile, p.Requests, p.MeanLatency.Round(time.Microsecond))
+		fmt.Fprintf(&b, "  %-6s %-12s %12s %14s\n", "round", "backend", "kernel p50", "nonlinear p50")
+		for _, rd := range p.Rounds {
+			fmt.Fprintf(&b, "  %-6d %-12s %12v %14v\n",
+				rd.Round, rd.Backend, rd.KernelP50.Round(time.Microsecond), rd.NonlinearP50.Round(time.Microsecond))
+		}
+		costs := make([]string, 0, len(p.Costs))
+		for name := range p.Costs {
+			costs = append(costs, name)
+		}
+		sort.Strings(costs)
+		for _, name := range costs {
+			fmt.Fprintf(&b, "  %-40s %d\n", name, p.Costs[name])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file hosts the backend-assignment model of the serving plane:
+// pick one crypto backend per linear round to minimize estimated cost
+// plus a weighted privacy penalty, subject to per-round allowed sets
+// and a monotone clear suffix (once a round runs in the clear, every
+// later round must too — the certified boundary is a suffix property,
+// so a clear round sandwiched between encrypted ones would void the
+// certification's premise).
+
+// BackendChoice is one candidate backend for one layer.
+type BackendChoice struct {
+	// Name identifies the backend ("paillier-he", "ss-gc", "clear").
+	Name string
+	// Cost is the estimated execution cost of running this layer on
+	// this backend (any consistent unit; the solver only compares).
+	Cost float64
+	// Penalty is the privacy penalty added as PenaltyWeight·Penalty —
+	// zero for rounds past the certified boundary.
+	Penalty float64
+	// Allowed marks whether the profile permits this backend here.
+	Allowed bool
+}
+
+// BackendLayer is one linear round's candidate set. Every layer must
+// list the same backends in the same order.
+type BackendLayer struct {
+	Name    string
+	Choices []BackendChoice
+}
+
+// AssignOptions tunes AssignBackends.
+type AssignOptions struct {
+	// PenaltyWeight is the λ multiplying each choice's Penalty in the
+	// objective (0 = pure cost).
+	PenaltyWeight float64
+	// MonotoneSuffix, when ≥ 0, names the backend index whose selection
+	// must be suffix-closed: x[l][s] ≤ x[l+1][s] for all l. Use the
+	// index of the clear backend; -1 disables the constraint.
+	MonotoneSuffix int
+	// MaxNodes caps the branch-and-bound search (0 = solver default).
+	MaxNodes int
+}
+
+// Assignment is the solved backend plan.
+type Assignment struct {
+	// Chosen[l] indexes the selected choice of layer l.
+	Chosen []int
+	// Objective is the achieved cost + λ·penalty.
+	Objective float64
+	// Nodes is the branch-and-bound effort expended.
+	Nodes int
+}
+
+// AssignBackends solves the per-layer backend selection as a 0/1 ILP:
+// variable x_{l,b} selects backend b for layer l, Σ_b x_{l,b} = 1,
+// disallowed pairs are pinned to zero, and the optional monotone-suffix
+// constraint keeps the clear region a contiguous tail.
+func AssignBackends(layers []BackendLayer, opts AssignOptions) (*Assignment, error) {
+	L := len(layers)
+	if L == 0 {
+		return nil, fmt.Errorf("ilp: no layers to assign")
+	}
+	B := len(layers[0].Choices)
+	if B == 0 {
+		return nil, fmt.Errorf("ilp: layer %s has no backend choices", layers[0].Name)
+	}
+	for _, l := range layers {
+		if len(l.Choices) != B {
+			return nil, fmt.Errorf("ilp: layer %s lists %d choices, want %d", l.Name, len(l.Choices), B)
+		}
+		any := false
+		for _, c := range l.Choices {
+			if c.Allowed {
+				any = true
+			}
+			if math.IsNaN(c.Cost) || math.IsInf(c.Cost, 0) || math.IsNaN(c.Penalty) || math.IsInf(c.Penalty, 0) {
+				return nil, fmt.Errorf("ilp: layer %s backend %s has non-finite cost terms", l.Name, c.Name)
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("ilp: layer %s allows no backend", l.Name)
+		}
+	}
+	if opts.MonotoneSuffix >= B {
+		return nil, fmt.Errorf("ilp: monotone-suffix index %d out of range (%d backends)", opts.MonotoneSuffix, B)
+	}
+
+	n := L * B
+	v := func(l, b int) int { return l*B + b }
+	p := &Problem{
+		Obj:     make([]float64, n),
+		Upper:   make([]float64, n),
+		Integer: make([]bool, n),
+	}
+	for l, layer := range layers {
+		for b, c := range layer.Choices {
+			j := v(l, b)
+			p.Obj[j] = c.Cost + opts.PenaltyWeight*c.Penalty
+			p.Integer[j] = true
+			if c.Allowed {
+				p.Upper[j] = 1
+			} else {
+				p.Upper[j] = 0
+			}
+		}
+		// Exactly one backend per layer.
+		row := make([]float64, n)
+		for b := 0; b < B; b++ {
+			row[v(l, b)] = 1
+		}
+		p.Cons = append(p.Cons, Constraint{Coeffs: row, Sense: EQ, RHS: 1})
+	}
+	if s := opts.MonotoneSuffix; s >= 0 {
+		for l := 0; l+1 < L; l++ {
+			row := make([]float64, n)
+			row[v(l, s)] = 1
+			row[v(l+1, s)] = -1
+			p.Cons = append(p.Cons, Constraint{Coeffs: row, Sense: LE, RHS: 0})
+		}
+	}
+
+	sol, err := Solve(p, Options{MaxNodes: opts.MaxNodes})
+	if err != nil {
+		return nil, fmt.Errorf("ilp: backend assignment: %w", err)
+	}
+	if sol.Status != Optimal && sol.Status != Feasible {
+		return nil, fmt.Errorf("ilp: backend assignment infeasible: %v", sol.Status)
+	}
+	out := &Assignment{Chosen: make([]int, L), Objective: sol.Objective, Nodes: sol.Nodes}
+	for l := 0; l < L; l++ {
+		best, bestV := -1, 0.5
+		for b := 0; b < B; b++ {
+			if x := sol.X[v(l, b)]; x > bestV {
+				best, bestV = b, x
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("ilp: layer %s received no backend in the solution", layers[l].Name)
+		}
+		out.Chosen[l] = best
+	}
+	return out, nil
+}

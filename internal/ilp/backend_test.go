@@ -1,0 +1,118 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+)
+
+func threeWay(name string, paillier, ssgc, clear float64, allowed [3]bool, penalty [3]float64) BackendLayer {
+	return BackendLayer{Name: name, Choices: []BackendChoice{
+		{Name: "paillier-he", Cost: paillier, Penalty: penalty[0], Allowed: allowed[0]},
+		{Name: "ss-gc", Cost: ssgc, Penalty: penalty[1], Allowed: allowed[1]},
+		{Name: "clear", Cost: clear, Penalty: penalty[2], Allowed: allowed[2]},
+	}}
+}
+
+func TestAssignBackendsPicksCheapest(t *testing.T) {
+	layers := []BackendLayer{
+		threeWay("l0", 1, 5, 0.1, [3]bool{true, false, false}, [3]float64{}),
+		threeWay("l1", 10, 2, 0.1, [3]bool{true, true, false}, [3]float64{}),
+		threeWay("l2", 10, 5, 0.1, [3]bool{true, true, true}, [3]float64{}),
+	}
+	a, err := AssignBackends(layers, AssignOptions{MonotoneSuffix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for l, b := range a.Chosen {
+		if b != want[l] {
+			t.Fatalf("chosen = %v, want %v", a.Chosen, want)
+		}
+	}
+	if math.Abs(a.Objective-(1+2+0.1)) > 1e-9 {
+		t.Fatalf("objective = %v", a.Objective)
+	}
+}
+
+func TestAssignBackendsMonotoneSuffix(t *testing.T) {
+	// Clear is cheapest in the middle but disallowed from being followed
+	// by a non-clear round: the suffix constraint must forbid the
+	// sandwich even though it is cost-optimal.
+	layers := []BackendLayer{
+		threeWay("l0", 1, 9, 9, [3]bool{true, true, true}, [3]float64{}),
+		threeWay("l1", 9, 9, 0.1, [3]bool{true, true, true}, [3]float64{}),
+		threeWay("l2", 1, 9, 9, [3]bool{true, true, true}, [3]float64{}),
+	}
+	a, err := AssignBackends(layers, AssignOptions{MonotoneSuffix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawNonClear := false
+	for l := len(a.Chosen) - 1; l >= 0; l-- {
+		if a.Chosen[l] != 2 {
+			sawNonClear = true
+		} else if sawNonClear {
+			t.Fatalf("clear round %d precedes a non-clear round: %v", l, a.Chosen)
+		}
+	}
+}
+
+func TestAssignBackendsPenaltyWeight(t *testing.T) {
+	// ss-gc is cheaper but penalized; at λ=0 it wins, at high λ paillier
+	// takes over.
+	layers := []BackendLayer{
+		threeWay("l0", 5, 2, 99, [3]bool{true, true, false}, [3]float64{0, 10, 0}),
+	}
+	a, err := AssignBackends(layers, AssignOptions{PenaltyWeight: 0, MonotoneSuffix: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chosen[0] != 1 {
+		t.Fatalf("λ=0 chose %d, want ss-gc", a.Chosen[0])
+	}
+	a, err = AssignBackends(layers, AssignOptions{PenaltyWeight: 1, MonotoneSuffix: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chosen[0] != 0 {
+		t.Fatalf("λ=1 chose %d, want paillier", a.Chosen[0])
+	}
+}
+
+func TestAssignBackendsDisallowedPinned(t *testing.T) {
+	layers := []BackendLayer{
+		threeWay("l0", 100, 0.001, 0.0001, [3]bool{true, false, false}, [3]float64{}),
+	}
+	a, err := AssignBackends(layers, AssignOptions{MonotoneSuffix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chosen[0] != 0 {
+		t.Fatalf("disallowed backend chosen: %v", a.Chosen)
+	}
+}
+
+func TestAssignBackendsErrors(t *testing.T) {
+	if _, err := AssignBackends(nil, AssignOptions{}); err == nil {
+		t.Error("empty layers accepted")
+	}
+	bad := []BackendLayer{threeWay("l0", 1, 1, 1, [3]bool{false, false, false}, [3]float64{})}
+	if _, err := AssignBackends(bad, AssignOptions{}); err == nil {
+		t.Error("all-disallowed layer accepted")
+	}
+	ragged := []BackendLayer{
+		threeWay("l0", 1, 1, 1, [3]bool{true, true, true}, [3]float64{}),
+		{Name: "l1", Choices: []BackendChoice{{Name: "x", Allowed: true}}},
+	}
+	if _, err := AssignBackends(ragged, AssignOptions{}); err == nil {
+		t.Error("ragged choice lists accepted")
+	}
+	nan := []BackendLayer{threeWay("l0", math.NaN(), 1, 1, [3]bool{true, true, true}, [3]float64{})}
+	if _, err := AssignBackends(nan, AssignOptions{}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+	oob := []BackendLayer{threeWay("l0", 1, 1, 1, [3]bool{true, true, true}, [3]float64{})}
+	if _, err := AssignBackends(oob, AssignOptions{MonotoneSuffix: 3}); err == nil {
+		t.Error("out-of-range suffix index accepted")
+	}
+}

@@ -25,8 +25,26 @@ func DistanceCorrelation(x, y []float64) (float64, error) {
 	if n < 2 {
 		return 0, errors.New("leakage: need at least two observations")
 	}
+	for i := range x {
+		if !isFinite(x[i]) || !isFinite(y[i]) {
+			return 0, fmt.Errorf("leakage: non-finite observation at index %d", i)
+		}
+	}
 	ax := centeredDistances(x)
 	ay := centeredDistances(y)
+	return dcorFromCentered(ax, ay), nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// dcorFromCentered finishes the distance-correlation computation from
+// two double-centered distance matrices, hardened against the float
+// edge cases that would otherwise surface as NaN: constant or
+// near-constant sequences (zero distance variance), covariance driven
+// slightly negative by cancellation, and rounding pushing the ratio
+// above one. The result is always a finite value in [0, 1].
+func dcorFromCentered(ax, ay [][]float64) float64 {
+	n := len(ax)
 	var cov, vx, vy float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -41,14 +59,21 @@ func DistanceCorrelation(x, y []float64) (float64, error) {
 	vy /= n2
 	if vx <= 0 || vy <= 0 {
 		// A constant sequence has zero distance variance; correlation is
-		// conventionally zero.
-		return 0, nil
+		// conventionally zero. Treating ≤0 (not just ==0) also absorbs
+		// negative rounding residue from the centering sums.
+		return 0
 	}
-	dcor := math.Sqrt(cov / math.Sqrt(vx*vy))
-	if math.IsNaN(dcor) {
-		return 0, nil
+	ratio := cov / math.Sqrt(vx*vy)
+	if math.IsNaN(ratio) || ratio <= 0 {
+		// Sample distance covariance can round below zero for (near-)
+		// independent data; the population quantity is nonnegative.
+		return 0
 	}
-	return dcor, nil
+	dcor := math.Sqrt(ratio)
+	if math.IsNaN(dcor) || dcor > 1 {
+		return 1
+	}
+	return dcor
 }
 
 // centeredDistances builds the double-centered distance matrix

@@ -45,6 +45,21 @@ type CostStats struct {
 	CipherBytesIn uint64 `json:"cipher_bytes_in"`
 	// CipherBytesOut counts ciphertext bytes sent to the wire.
 	CipherBytesOut uint64 `json:"cipher_bytes_out"`
+	// Triples counts Beaver multiplication triples consumed by the
+	// secret-sharing backend's linear layers.
+	Triples uint64 `json:"triples"`
+	// OpenedWords counts 64-bit share words opened (exchanged) during
+	// secret-sharing multiplications and reconstructions.
+	OpenedWords uint64 `json:"opened_words"`
+	// GCGates counts garbled AND gates evaluated (half-gates, two table
+	// rows each) by the garbled-circuit ReLU of the ss-gc backend.
+	GCGates uint64 `json:"gc_gates"`
+	// ExtOTs counts extended oblivious transfers consumed by garbled
+	// circuit evaluations.
+	ExtOTs uint64 `json:"ext_ots"`
+	// PlainOps counts plaintext multiply-accumulate operations executed
+	// by the clear backend past the certified crypto-clear boundary.
+	PlainOps uint64 `json:"plain_ops"`
 }
 
 // CostField binds one CostStats field to its canonical lowercase dotted
@@ -74,6 +89,11 @@ var costFields = []CostField{
 	{Name: "decrypts", Get: func(c *CostStats) uint64 { return c.Decrypts }, Add: func(m *CostMeter, n uint64) { m.decrypts.Add(n) }},
 	{Name: "cipher_bytes_in", Get: func(c *CostStats) uint64 { return c.CipherBytesIn }, Add: func(m *CostMeter, n uint64) { m.cipherBytesIn.Add(n) }},
 	{Name: "cipher_bytes_out", Get: func(c *CostStats) uint64 { return c.CipherBytesOut }, Add: func(m *CostMeter, n uint64) { m.cipherBytesOut.Add(n) }},
+	{Name: "triples", Get: func(c *CostStats) uint64 { return c.Triples }, Add: func(m *CostMeter, n uint64) { m.triples.Add(n) }},
+	{Name: "opened_words", Get: func(c *CostStats) uint64 { return c.OpenedWords }, Add: func(m *CostMeter, n uint64) { m.openedWords.Add(n) }},
+	{Name: "gc_gates", Get: func(c *CostStats) uint64 { return c.GCGates }, Add: func(m *CostMeter, n uint64) { m.gcGates.Add(n) }},
+	{Name: "ext_ots", Get: func(c *CostStats) uint64 { return c.ExtOTs }, Add: func(m *CostMeter, n uint64) { m.extOTs.Add(n) }},
+	{Name: "plain_ops", Get: func(c *CostStats) uint64 { return c.PlainOps }, Add: func(m *CostMeter, n uint64) { m.plainOps.Add(n) }},
 }
 
 // CostFields returns the canonical field list (name + snapshot reader)
@@ -93,6 +113,11 @@ func (c *CostStats) Add(o CostStats) {
 	c.Decrypts += o.Decrypts
 	c.CipherBytesIn += o.CipherBytesIn
 	c.CipherBytesOut += o.CipherBytesOut
+	c.Triples += o.Triples
+	c.OpenedWords += o.OpenedWords
+	c.GCGates += o.GCGates
+	c.ExtOTs += o.ExtOTs
+	c.PlainOps += o.PlainOps
 }
 
 // IsZero reports whether no operation was recorded.
@@ -149,6 +174,11 @@ type CostMeter struct {
 	decrypts       atomic.Uint64
 	cipherBytesIn  atomic.Uint64
 	cipherBytesOut atomic.Uint64
+	triples        atomic.Uint64
+	openedWords    atomic.Uint64
+	gcGates        atomic.Uint64
+	extOTs         atomic.Uint64
+	plainOps       atomic.Uint64
 }
 
 // Add accumulates a batch of counts into the meter. A nil meter is a
@@ -180,6 +210,11 @@ func (m *CostMeter) Snapshot() CostStats {
 		Decrypts:       m.decrypts.Load(),
 		CipherBytesIn:  m.cipherBytesIn.Load(),
 		CipherBytesOut: m.cipherBytesOut.Load(),
+		Triples:        m.triples.Load(),
+		OpenedWords:    m.openedWords.Load(),
+		GCGates:        m.gcGates.Load(),
+		ExtOTs:         m.extOTs.Load(),
+		PlainOps:       m.plainOps.Load(),
 	}
 }
 
@@ -198,6 +233,11 @@ func (m *CostMeter) Diff(prev CostStats) CostStats {
 		Decrypts:       cur.Decrypts - prev.Decrypts,
 		CipherBytesIn:  cur.CipherBytesIn - prev.CipherBytesIn,
 		CipherBytesOut: cur.CipherBytesOut - prev.CipherBytesOut,
+		Triples:        cur.Triples - prev.Triples,
+		OpenedWords:    cur.OpenedWords - prev.OpenedWords,
+		GCGates:        cur.GCGates - prev.GCGates,
+		ExtOTs:         cur.ExtOTs - prev.ExtOTs,
+		PlainOps:       cur.PlainOps - prev.PlainOps,
 	}
 }
 
@@ -212,6 +252,22 @@ func AddCostToRegistry(reg *Registry, st CostStats) {
 	for _, f := range costFields {
 		if v := f.Get(&st); v != 0 {
 			reg.Counter("cost." + f.Name).Add(v)
+		}
+	}
+}
+
+// AddCostToRegistryLabeled folds a cost profile into reg's
+// "cost.<label>.<field>" counters — the per-backend attribution the
+// mixed-backend serving plane exposes next to the unlabeled process-wide
+// aggregate. label must be a lowercase metric-name component (e.g.
+// "paillier_he", "ss_gc", "clear").
+func AddCostToRegistryLabeled(reg *Registry, label string, st CostStats) {
+	if reg == nil || label == "" {
+		return
+	}
+	for _, f := range costFields {
+		if v := f.Get(&st); v != 0 {
+			reg.Counter("cost." + label + "." + f.Name).Add(v)
 		}
 	}
 }

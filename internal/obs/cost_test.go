@@ -100,7 +100,8 @@ func TestCostFieldsCoverStruct(t *testing.T) {
 func TestCostStatsJSONFieldNames(t *testing.T) {
 	st := CostStats{ModExps: 1, MulMods: 1, ModInverses: 1, Rerands: 1,
 		PoolHits: 1, PoolMisses: 1, Encrypts: 1, Decrypts: 1,
-		CipherBytesIn: 1, CipherBytesOut: 1}
+		CipherBytesIn: 1, CipherBytesOut: 1,
+		Triples: 1, OpenedWords: 1, GCGates: 1, ExtOTs: 1, PlainOps: 1}
 	raw, err := json.Marshal(&st)
 	if err != nil {
 		t.Fatal(err)

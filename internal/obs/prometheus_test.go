@@ -232,6 +232,7 @@ func TestWritePrometheusCostCounters(t *testing.T) {
 	AddCostToRegistry(reg, CostStats{
 		ModExps: 1, MulMods: 2, ModInverses: 3, Rerands: 4, PoolHits: 5,
 		PoolMisses: 6, Encrypts: 7, Decrypts: 8, CipherBytesIn: 9, CipherBytesOut: 10,
+		Triples: 11, OpenedWords: 12, GCGates: 13, ExtOTs: 14, PlainOps: 15,
 	})
 	var buf strings.Builder
 	if err := WritePrometheus(&buf, reg); err != nil {

@@ -50,6 +50,10 @@ type Segment struct {
 	Name  string        `json:"name"`
 	Round int           `json:"round"`
 	Dur   time.Duration `json:"dur_ns"`
+	// Backend, when non-empty, names the crypto backend that executed
+	// this segment's round ("paillier-he", "ss-gc", "clear"), so a
+	// mixed-backend request's trace shows the ILP-chosen assignment.
+	Backend string `json:"backend,omitempty"`
 	// Cost, when non-nil, is the crypto-cost profile attributed to this
 	// segment (modexps, ciphertext bytes, pool hit rate, ...), so the
 	// tree explains why the segment took its duration.
@@ -57,12 +61,17 @@ type Segment struct {
 }
 
 // Label renders the per-party segment name the breakdown tables group
-// by ("client-nonlinear", "server-kernel", "wire", ...).
+// by ("client-nonlinear", "server-kernel[ss-gc]", "wire", ...). The
+// backend suffix keeps per-backend timings separate in the breakdown.
 func (s Segment) Label() string {
-	if s.Party == "" || s.Party == s.Name {
-		return s.Name
+	base := s.Name
+	if s.Party != "" && s.Party != s.Name {
+		base = s.Party + "-" + s.Name
 	}
-	return s.Party + "-" + s.Name
+	if s.Backend != "" {
+		base += "[" + s.Backend + "]"
+	}
+	return base
 }
 
 // TraceTree is one request's merged cross-party trace: every segment of
@@ -103,14 +112,18 @@ func (t *TraceTree) PartyTotal(party string) time.Duration {
 	return d
 }
 
-// SegmentTotal sums the segments whose Label matches.
+// SegmentTotal sums the segments whose Label matches. A bare label
+// ("server-kernel") also matches its backend-suffixed forms
+// ("server-kernel[ss-gc]"), so callers that aggregate across backends
+// keep working against plans that split a round set over several.
 func (t *TraceTree) SegmentTotal(label string) time.Duration {
 	if t == nil {
 		return 0
 	}
 	var d time.Duration
 	for _, s := range t.Segments {
-		if s.Label() == label {
+		got := s.Label()
+		if got == label || (s.Backend != "" && got == label+"["+s.Backend+"]") {
 			d += s.Dur
 		}
 	}

@@ -59,11 +59,11 @@ func TestInferTracedCarriesCostAnnotations(t *testing.T) {
 			continue
 		}
 		switch s.Label() {
-		case "server-kernel":
+		case "server-kernel[paillier-he]":
 			kernelCost.Add(*s.Cost)
 		case "client-encrypt":
 			encCost.Add(*s.Cost)
-		case "client-nonlinear":
+		case "client-nonlinear[paillier-he]":
 			nlCost.Add(*s.Cost)
 		case "wire":
 			wireCost.Add(*s.Cost)

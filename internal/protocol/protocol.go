@@ -17,11 +17,14 @@
 package protocol
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/big"
 	"sync"
 	"time"
 
+	"ppstream/internal/backend"
 	"ppstream/internal/nn"
 	"ppstream/internal/obfuscate"
 	"ppstream/internal/obs"
@@ -29,24 +32,58 @@ import (
 	"ppstream/internal/partition"
 	"ppstream/internal/qnn"
 	"ppstream/internal/scaling"
+	"ppstream/internal/secshare"
 	"ppstream/internal/tensor"
 )
 
-// Envelope is the in-process message flowing between protocol stages: an
-// encrypted tensor plus its scale exponent, or the final plaintext
-// result.
+// Envelope is the in-process message flowing between protocol stages:
+// one round's activation tensor in its backend's representation plus the
+// scale exponent, or the final plaintext result.
 type Envelope struct {
 	// Req identifies the inference request.
 	Req uint64
-	// CT is the encrypted tensor (nil once Result is set). Between the
-	// model and data provider it is obfuscated except in the last round.
+	// Backend names the representation this envelope carries; empty means
+	// paillier-he (the legacy protocol, and frames from peers predating
+	// backend negotiation).
+	Backend backend.Kind
+	// CT is the encrypted tensor (paillier-he rounds). Between the model
+	// and data provider it is obfuscated except in the last round.
 	CT *paillier.CipherTensor
+	// Sh is the additively shared tensor (ss-gc rounds).
+	Sh *tensor.Tensor[secshare.Shares]
+	// Plain is the plaintext integer tensor (clear rounds past the
+	// certified boundary).
+	Plain *tensor.Tensor[*big.Int]
 	// Exp is the plaintext scale exponent: values are real·F^Exp.
 	Exp int
-	// Obfuscated records whether CT's element positions are permuted.
+	// Obfuscated records whether the element positions are permuted.
 	Obfuscated bool
 	// Result is the final inference output (last stage only).
 	Result *tensor.Dense
+}
+
+// BackendKind resolves the envelope's backend, mapping the empty legacy
+// value to paillier-he.
+func (env *Envelope) BackendKind() backend.Kind {
+	if env.Backend == "" {
+		return backend.PaillierHE
+	}
+	return env.Backend
+}
+
+// payload views the envelope's activation tensor as a backend payload,
+// verifying the representation matching the declared kind is present.
+func (env *Envelope) payload() (*backend.Payload, error) {
+	p := &backend.Payload{Kind: env.BackendKind(), CT: env.CT, Sh: env.Sh, Plain: env.Plain, Exp: env.Exp}
+	if _, err := p.Shape(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// envelopeWith wraps a backend payload back into an envelope.
+func envelopeWith(req uint64, p *backend.Payload, obfuscated bool) *Envelope {
+	return &Envelope{Req: req, Backend: p.Kind, CT: p.CT, Sh: p.Sh, Plain: p.Plain, Exp: p.Exp, Obfuscated: obfuscated}
 }
 
 // Config parameterizes protocol construction.
@@ -133,7 +170,7 @@ func BuildModelProvider(net *nn.Network, pk *paillier.PublicKey, cfg Config) (*M
 		workers: cfg.Workers,
 		state:   map[uint64]*obfuscate.Rounds{},
 	}
-	for _, m := range merged {
+	for i, m := range merged {
 		if m.Kind != nn.Linear {
 			continue
 		}
@@ -141,11 +178,20 @@ func BuildModelProvider(net *nn.Network, pk *paillier.PublicKey, cfg Config) (*M
 		if err != nil {
 			return nil, err
 		}
+		// The ss-gc backend pays a garbled-circuit ReLU on the nonlinear
+		// side of intermediate rounds; the final nonlinear stage runs in
+		// the clear on the reconstructed result, so it never garbles.
+		reluFollows := false
+		if i+1 < len(merged)-1 && len(merged[i+1].Layers) > 0 {
+			_, reluFollows = merged[i+1].Layers[0].(*nn.ReLU)
+		}
 		mp.stages = append(mp.stages, &linearStage{
-			ops:      ops,
-			inShape:  m.InShape.Clone(),
-			outShape: m.OutShape.Clone(),
-			threads:  cfg.Workers,
+			name:        m.Name(),
+			ops:         ops,
+			inShape:     m.InShape.Clone(),
+			outShape:    m.OutShape.Clone(),
+			threads:     cfg.Workers,
+			reluFollows: reluFollows,
 		})
 	}
 	if len(mp.stages) == 0 {
@@ -237,6 +283,38 @@ func BuildAuto(net *nn.Network, key *paillier.PrivateKey, xs []*tensor.Dense, ys
 // Rounds returns the number of linear/non-linear round pairs.
 func (p *Protocol) Rounds() int { return len(p.Model.stages) }
 
+// ApplyPlan installs one backend assignment on both roles of an
+// in-process protocol. A nil plan restores the legacy all-Paillier
+// behavior on both sides.
+func (p *Protocol) ApplyPlan(plan []backend.Kind) error {
+	if err := p.Model.SetBackendPlan(plan); err != nil {
+		return err
+	}
+	if err := p.Data.SetBackendPlan(plan); err != nil {
+		// Keep the two roles consistent: roll the model side back.
+		_ = p.Model.SetBackendPlan(nil)
+		return err
+	}
+	return nil
+}
+
+// ApplyProfile solves the backend assignment for the given deployment
+// profile and certified clear boundary (rounds, i.e. no clear execution,
+// when boundary <= 0) and installs it on both roles, returning the plan.
+func (p *Protocol) ApplyProfile(profile backend.Profile, boundary int) (*backend.Plan, error) {
+	if boundary <= 0 {
+		boundary = p.Rounds()
+	}
+	plan, err := backend.PlanFor(profile, p.Model.LayerInfos(), boundary, p.Model.pk.N.BitLen())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ApplyPlan(plan.Assignment); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // Infer runs the full collaborative workflow sequentially for one input:
 // the reference execution used by tests, the CipherBase baseline, and
 // offline profiling. The streaming engine (internal/core) runs the same
@@ -267,6 +345,7 @@ func (p *Protocol) Infer(req uint64, x *tensor.Dense) (*tensor.Dense, error) {
 // linearStage is one model-provider stage: quantized ops plus runtime
 // configuration.
 type linearStage struct {
+	name     string
 	ops      []qnn.Op
 	inShape  tensor.Shape
 	outShape tensor.Shape
@@ -278,9 +357,25 @@ type linearStage struct {
 	// executor (physical per-thread input views); otherwise the stage
 	// uses the shared-memory fast path.
 	usePartitionExec bool
+	// reluFollows marks that the intermediate nonlinear stage after this
+	// round starts with ReLU (the ss-gc backend garbles there).
+	reluFollows bool
 }
 
-// ModelProvider executes linear stages homomorphically and manages
+// execStage views a linear stage as a backend stage description.
+func (st *linearStage) execStage() *backend.Stage {
+	return &backend.Stage{
+		Ops:              st.ops,
+		InShape:          st.inShape,
+		OutShape:         st.outShape,
+		Threads:          st.threads,
+		InputPartition:   st.inputPartition,
+		UsePartitionExec: st.usePartitionExec,
+	}
+}
+
+// ModelProvider executes linear stages under the session's per-round
+// backend plan (paillier-he unless a plan says otherwise) and manages
 // per-request obfuscation state. It never sees the private key.
 type ModelProvider struct {
 	pk      *paillier.PublicKey
@@ -292,6 +387,9 @@ type ModelProvider struct {
 	mu      sync.Mutex
 	state   map[uint64]*obfuscate.Rounds
 	limiter *RateLimiter
+
+	planMu sync.RWMutex
+	plan   []backend.Kind
 }
 
 // PublicKey exposes the provider's encryption key.
@@ -316,6 +414,84 @@ func (mp *ModelProvider) Instrument(reg *obs.Registry) {
 
 // Stages returns the number of linear stages.
 func (mp *ModelProvider) Stages() int { return len(mp.stages) }
+
+// LayerInfos returns the planner's view of every linear round: the
+// non-zero weight multiplication count, output size, and whether a
+// garbled ReLU would follow — the inputs backend.PlanFor consumes.
+func (mp *ModelProvider) LayerInfos() []backend.LayerInfo {
+	out := make([]backend.LayerInfo, len(mp.stages))
+	for r, st := range mp.stages {
+		muls := 0
+		shape := st.inShape
+		for _, op := range st.ops {
+			muls += qnn.MulCount(op, shape)
+			if next, err := op.OutShape(shape); err == nil {
+				shape = next
+			}
+		}
+		out[r] = backend.LayerInfo{
+			Name:        st.name,
+			Muls:        muls,
+			Outs:        st.outShape.Size(),
+			ReluFollows: st.reluFollows,
+		}
+	}
+	return out
+}
+
+// SetBackendPlan installs the session's per-round backend assignment.
+// Round 0 must stay paillier-he: the raw input never leaves the data
+// provider unencrypted. A nil plan restores the legacy all-Paillier
+// behavior. Safe to call concurrently with round processing.
+func (mp *ModelProvider) SetBackendPlan(plan []backend.Kind) error {
+	if plan != nil {
+		if len(plan) != len(mp.stages) {
+			return fmt.Errorf("protocol: plan covers %d rounds, provider has %d", len(plan), len(mp.stages))
+		}
+		for r, k := range plan {
+			if _, err := backend.For(k); err != nil {
+				return fmt.Errorf("protocol: plan round %d: %w", r, err)
+			}
+		}
+		if plan[0] != backend.PaillierHE {
+			return fmt.Errorf("protocol: plan runs round 0 on %q — the input must stay encrypted", plan[0])
+		}
+		plan = append([]backend.Kind(nil), plan...)
+	}
+	mp.planMu.Lock()
+	mp.plan = plan
+	mp.planMu.Unlock()
+	return nil
+}
+
+// BackendPlan returns a copy of the installed plan, nil when the
+// provider runs the legacy all-Paillier protocol.
+func (mp *ModelProvider) BackendPlan() []backend.Kind {
+	mp.planMu.RLock()
+	defer mp.planMu.RUnlock()
+	return append([]backend.Kind(nil), mp.plan...)
+}
+
+// RoundBackend returns the backend round r executes on.
+func (mp *ModelProvider) RoundBackend(r int) backend.Kind {
+	mp.planMu.RLock()
+	defer mp.planMu.RUnlock()
+	if r >= 0 && r < len(mp.plan) {
+		return mp.plan[r]
+	}
+	return backend.PaillierHE
+}
+
+// SetBlindPool replaces the evaluator's blinding supply — sessions call
+// this once the backend plan is known, so the pool can be sized to the
+// plan's actual Paillier rounds.
+func (mp *ModelProvider) SetBlindPool(pool *paillier.Pool) {
+	var opts []paillier.EvalOption
+	if pool != nil {
+		opts = append(opts, paillier.WithBlinder(pool))
+	}
+	mp.eval = paillier.NewEvaluator(mp.pk, opts...)
+}
 
 // SetStagePlan overrides stage r's thread count and partitioning mode
 // (from the load-balanced allocation plan).
@@ -360,41 +536,57 @@ type LinearTiming struct {
 }
 
 // ProcessLinear executes round r's steps at the model provider: inverse
-// obfuscation (rounds > 0), the homomorphic linear operations, and
-// obfuscation (except the last round) — steps 1.3–1.4, 2.5–2.7, and
-// 3.2–3.3 of Figure 3.
+// obfuscation (rounds > 0), the round's linear stage on the backend the
+// session plan assigns, and obfuscation (except the last round) — steps
+// 1.3–1.4, 2.5–2.7, and 3.2–3.3 of Figure 3.
 func (mp *ModelProvider) ProcessLinear(r int, env *Envelope) (*Envelope, error) {
 	out, _, err := mp.ProcessLinearTimed(r, env)
 	return out, err
 }
 
 // ProcessLinearTimed is ProcessLinear reporting how the round's wall
-// time divided between the homomorphic kernel and permutation work.
+// time divided between the execution kernel and permutation work.
 func (mp *ModelProvider) ProcessLinearTimed(r int, env *Envelope) (*Envelope, LinearTiming, error) {
-	return mp.processLinear(r, env, mp.eval)
+	return mp.processLinear(r, env, mp.eval, nil)
 }
 
 // ProcessLinearMetered is ProcessLinearTimed with crypto-op accounting:
 // the round runs through a metered view of the provider's evaluator so
 // its op counts land in m without touching other requests sharing the
-// evaluator. A nil meter falls back to the unmetered path.
+// evaluator; non-Paillier backends meter their share, garbled-circuit,
+// and plaintext op counts into m directly. A nil meter falls back to the
+// unmetered path.
 func (mp *ModelProvider) ProcessLinearMetered(r int, env *Envelope, m *obs.CostMeter) (*Envelope, LinearTiming, error) {
 	ev := mp.eval
 	if m != nil {
 		ev = ev.WithCost(m)
 	}
-	return mp.processLinear(r, env, ev)
+	return mp.processLinear(r, env, ev, m)
 }
 
-func (mp *ModelProvider) processLinear(r int, env *Envelope, ev *paillier.Evaluator) (*Envelope, LinearTiming, error) {
+// cryptoSeed draws a secshare engine seed from crypto/rand: the triple
+// dealer's stream must be unpredictable across rounds and requests.
+func cryptoSeed() (int64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("protocol: share-engine seed: %w", err)
+	}
+	return int64(binary.BigEndian.Uint64(b[:])), nil
+}
+
+func (mp *ModelProvider) processLinear(r int, env *Envelope, ev *paillier.Evaluator, m *obs.CostMeter) (*Envelope, LinearTiming, error) {
 	var tm LinearTiming
 	if r < 0 || r >= len(mp.stages) {
 		return nil, tm, fmt.Errorf("protocol: no linear stage %d", r)
 	}
 	st := mp.stages[r]
-	ct := env.CT
-	if ct == nil {
-		return nil, tm, fmt.Errorf("protocol: linear stage %d received no ciphertext", r)
+	kind := mp.RoundBackend(r)
+	if got := env.BackendKind(); got != kind {
+		return nil, tm, fmt.Errorf("protocol: round %d arrived as %q, session plan assigns %q", r, got, kind)
+	}
+	p, err := env.payload()
+	if err != nil {
+		return nil, tm, fmt.Errorf("protocol: linear stage %d: %w", r, err)
 	}
 	if r == 0 {
 		if env.Obfuscated {
@@ -412,55 +604,66 @@ func (mp *ModelProvider) processLinear(r int, env *Envelope, ev *paillier.Evalua
 		if err != nil {
 			return nil, tm, err
 		}
-		restored, err := obfuscate.InvertTensor(perm, ct, st.inShape)
+		restored, err := p.InvertPerm(perm, st.inShape)
 		if err != nil {
 			return nil, tm, err
 		}
 		tm.Permute += time.Since(permStart)
-		ct = restored
+		p = restored
 	}
-	if ct.Size() != st.inShape.Size() {
-		return nil, tm, fmt.Errorf("protocol: linear stage %d input size %d, want %v", r, ct.Size(), st.inShape)
+	size, err := p.Size()
+	if err != nil {
+		return nil, tm, err
 	}
-	shaped, err := ct.Reshape(st.inShape...)
+	if size != st.inShape.Size() {
+		return nil, tm, fmt.Errorf("protocol: linear stage %d input size %d, want %v", r, size, st.inShape)
+	}
+	shaped, err := p.Reshape(st.inShape)
 	if err != nil {
 		return nil, tm, err
 	}
 
-	kernelStart := time.Now()
-	var out *paillier.CipherTensor
-	var outExp int
-	if st.usePartitionExec {
-		out, outExp, _, err = executePartitioned(ev, st, shaped, env.Exp)
-	} else {
-		out, outExp, err = qnn.ApplyStage(ev, st.ops, shaped, env.Exp, st.threads)
+	be, err := backend.For(kind)
+	if err != nil {
+		return nil, tm, err
 	}
+	execEnv := &backend.ExecEnv{Eval: ev, Workers: st.threads, Meter: m}
+	if kind == backend.SSGC {
+		seed, err := cryptoSeed()
+		if err != nil {
+			return nil, tm, err
+		}
+		// A fresh engine per round frame: the dealer stream is not shared
+		// across concurrent requests, so rounds never race on its state.
+		execEnv.SS = secshare.NewEngine(seed)
+	}
+	kernelStart := time.Now()
+	out, err := be.Execute(execEnv, st.execStage(), shaped)
 	if err != nil {
 		return nil, tm, err
 	}
 	tm.Kernel = time.Since(kernelStart)
 
 	last := r == len(mp.stages)-1
-	next := &Envelope{Req: env.Req, Exp: outExp}
 	if last {
 		// Step 3.4: send without obfuscation so SoftMax can run.
-		next.CT = out
-		next.Obfuscated = false
-		return next, tm, nil
+		return envelopeWith(env.Req, out, false), tm, nil
 	}
-	permStart := time.Now()
-	perm, err := mp.rounds(env.Req).Next(out.Size())
+	outSize, err := out.Size()
 	if err != nil {
 		return nil, tm, err
 	}
-	obf, err := obfuscate.ApplyTensor(perm, out)
+	permStart := time.Now()
+	perm, err := mp.rounds(env.Req).Next(outSize)
+	if err != nil {
+		return nil, tm, err
+	}
+	obf, err := out.ApplyPerm(perm)
 	if err != nil {
 		return nil, tm, err
 	}
 	tm.Permute += time.Since(permStart)
-	next.CT = obf
-	next.Obfuscated = true
-	return next, tm, nil
+	return envelopeWith(env.Req, obf, true), tm, nil
 }
 
 // nonLinearStage is one data-provider stage.
@@ -472,13 +675,51 @@ type nonLinearStage struct {
 }
 
 // DataProvider holds the private key, encrypts inputs, and evaluates
-// non-linear stages on plaintext.
+// non-linear stages on plaintext. Under a backend plan it also decodes
+// each round's payload per its backend (decrypt / reconstruct shares /
+// pass plaintext through) and re-encodes for the next round's backend.
 type DataProvider struct {
 	sk      *paillier.PrivateKey
 	factor  int64
 	workers int
 	pool    *paillier.Pool
 	stages  []*nonLinearStage
+
+	planMu sync.RWMutex
+	plan   []backend.Kind
+}
+
+// SetBackendPlan installs the session's per-round backend assignment on
+// the data-provider side (validated against the same safety rules the
+// model provider enforces). Safe to call concurrently with inference.
+func (dp *DataProvider) SetBackendPlan(plan []backend.Kind) error {
+	if plan != nil {
+		if err := backend.ValidateAssignment("", plan, len(dp.stages)); err != nil {
+			return fmt.Errorf("protocol: %w", err)
+		}
+		plan = append([]backend.Kind(nil), plan...)
+	}
+	dp.planMu.Lock()
+	dp.plan = plan
+	dp.planMu.Unlock()
+	return nil
+}
+
+// BackendPlan returns a copy of the installed plan, nil when legacy.
+func (dp *DataProvider) BackendPlan() []backend.Kind {
+	dp.planMu.RLock()
+	defer dp.planMu.RUnlock()
+	return append([]backend.Kind(nil), dp.plan...)
+}
+
+// RoundBackend returns the backend round r runs on under the plan.
+func (dp *DataProvider) RoundBackend(r int) backend.Kind {
+	dp.planMu.RLock()
+	defer dp.planMu.RUnlock()
+	if r >= 0 && r < len(dp.plan) {
+		return dp.plan[r]
+	}
+	return backend.PaillierHE
 }
 
 // SetStageThreads overrides stage r's thread count.
@@ -511,7 +752,9 @@ func (dp *DataProvider) EncryptMetered(req uint64, x *tensor.Dense, m *obs.CostM
 	if err != nil {
 		return nil, err
 	}
-	return &Envelope{Req: req, CT: ct, Exp: 1}, nil
+	// Round 0 is always paillier-he regardless of plan: the raw input
+	// leaves the data provider only under encryption.
+	return &Envelope{Req: req, Backend: backend.PaillierHE, CT: ct, Exp: 1}, nil
 }
 
 func (dp *DataProvider) encryptTensor(t *tensor.Tensor[int64], m *obs.CostMeter) (*paillier.CipherTensor, error) {
@@ -555,23 +798,73 @@ func (dp *DataProvider) ProcessNonLinear(r int, env *Envelope) (*Envelope, error
 
 // ProcessNonLinearMetered is ProcessNonLinear with crypto-op accounting
 // into m (nil skips accounting): decryption counts — each CRT decryption
-// is two half-size exponentiations — plus the re-encryption costs.
+// is two half-size exponentiations — plus the re-encryption costs; for
+// ss-gc rounds the garbled-circuit ReLU gates, extension OTs, and opened
+// share words land in m instead.
 func (dp *DataProvider) ProcessNonLinearMetered(r int, env *Envelope, m *obs.CostMeter) (*Envelope, error) {
 	if r < 0 || r >= len(dp.stages) {
 		return nil, fmt.Errorf("protocol: no non-linear stage %d", r)
 	}
 	st := dp.stages[r]
-	if env.CT == nil {
-		return nil, fmt.Errorf("protocol: non-linear stage %d received no ciphertext", r)
+	kind := env.BackendKind()
+	if expect := dp.RoundBackend(r); kind != expect {
+		return nil, fmt.Errorf("protocol: round %d reply arrived as %q, session plan assigns %q", r, kind, expect)
 	}
 	last := r == len(dp.stages)-1
-	bigT, err := paillier.DecryptTensorBig(dp.sk, env.CT, st.threads)
-	if err != nil {
-		return nil, err
-	}
-	if m != nil {
-		n := uint64(env.CT.Size())
-		m.Add(obs.CostStats{Decrypts: n, ModExps: 2 * n})
+
+	// Decode the round's payload into plaintext integers at scale
+	// F^Exp, per the backend that produced it.
+	var bigT *tensor.Tensor[*big.Int]
+	// reluDone marks that the stage's leading ReLU already ran inside the
+	// garbled circuit on shares, so the plaintext loop must skip it.
+	reluDone := false
+	switch kind {
+	case backend.PaillierHE:
+		if env.CT == nil {
+			return nil, fmt.Errorf("protocol: non-linear stage %d received no ciphertext", r)
+		}
+		var err error
+		bigT, err = paillier.DecryptTensorBig(dp.sk, env.CT, st.threads)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			n := uint64(env.CT.Size())
+			m.Add(obs.CostStats{Decrypts: n, ModExps: 2 * n})
+		}
+	case backend.SSGC:
+		if env.Sh == nil {
+			return nil, fmt.Errorf("protocol: non-linear stage %d received no shares", r)
+		}
+		shares := env.Sh.Data()
+		if !last && len(st.layers) > 0 {
+			if _, isRelu := st.layers[0].(*nn.ReLU); isRelu {
+				// The two-party path: ReLU runs on the shares through the
+				// garbled circuit (exact on ring integers — a sign test at
+				// scale F^Exp commutes with descaling), and only the fresh
+				// output shares are opened below.
+				fresh, err := backend.GCReLUShares(shares, m)
+				if err != nil {
+					return nil, err
+				}
+				shares = fresh
+				reluDone = true
+			}
+		}
+		bigT = tensor.New[*big.Int](env.Sh.Shape()...)
+		for i, s := range shares {
+			bigT.SetFlat(i, big.NewInt(secshare.SignedOfRing(s.Reconstruct())))
+		}
+		if m != nil {
+			m.Add(obs.CostStats{OpenedWords: 2 * uint64(len(shares))})
+		}
+	case backend.Clear:
+		if env.Plain == nil {
+			return nil, fmt.Errorf("protocol: non-linear stage %d received no plaintext values", r)
+		}
+		bigT = env.Plain
+	default:
+		return nil, fmt.Errorf("protocol: non-linear stage %d received unknown backend %q", r, kind)
 	}
 	vals, err := qnn.Descale(bigT, dp.factor, env.Exp)
 	if err != nil {
@@ -604,7 +897,10 @@ func (dp *DataProvider) ProcessNonLinearMetered(r int, env *Envelope, m *obs.Cos
 	}
 	flat := vals.Flatten()
 	data := flat.Data()
-	for _, l := range st.layers {
+	for li, l := range st.layers {
+		if li == 0 && reluDone {
+			continue
+		}
 		ew, ok := l.(nn.ElementWise)
 		if !ok {
 			return nil, fmt.Errorf("protocol: layer %s is not element-wise but received a permuted tensor", l.Name())
@@ -614,11 +910,45 @@ func (dp *DataProvider) ProcessNonLinearMetered(r int, env *Envelope, m *obs.Cos
 		}
 	}
 	rescaled := qnn.ScaleInput(flat, dp.factor)
-	ct, err := dp.encryptTensor(rescaled, m)
-	if err != nil {
-		return nil, err
+	return dp.encodeFor(env.Req, r+1, rescaled, m)
+}
+
+// encodeFor packs the next round's scaled input in the representation
+// its planned backend expects: Paillier ciphertexts, fresh additive
+// shares, or plaintext integers (past the certified boundary).
+func (dp *DataProvider) encodeFor(req uint64, nextRound int, scaled *tensor.Tensor[int64], m *obs.CostMeter) (*Envelope, error) {
+	next := dp.RoundBackend(nextRound)
+	env := &Envelope{Req: req, Backend: next, Exp: 1, Obfuscated: true}
+	switch next {
+	case backend.PaillierHE:
+		ct, err := dp.encryptTensor(scaled, m)
+		if err != nil {
+			return nil, err
+		}
+		env.CT = ct
+	case backend.SSGC:
+		sh := tensor.New[secshare.Shares](scaled.Shape()...)
+		for i, v := range scaled.Data() {
+			s, err := secshare.SplitRandom(rand.Reader, secshare.RingOfBig(big.NewInt(v)))
+			if err != nil {
+				return nil, err
+			}
+			sh.SetFlat(i, s)
+		}
+		env.Sh = sh
+	case backend.Clear:
+		plain := tensor.New[*big.Int](scaled.Shape()...)
+		for i, v := range scaled.Data() {
+			plain.SetFlat(i, big.NewInt(v))
+		}
+		env.Plain = plain
+		if m != nil {
+			m.Add(obs.CostStats{PlainOps: uint64(scaled.Size())})
+		}
+	default:
+		return nil, fmt.Errorf("protocol: round %d plans unknown backend %q", nextRound, next)
 	}
-	return &Envelope{Req: env.Req, CT: ct, Exp: 1, Obfuscated: true}, nil
+	return env, nil
 }
 
 // StageComm returns the per-request stage-to-thread communication volume
@@ -675,11 +1005,4 @@ func (mp *ModelProvider) StageComm(r, threads int) (withPart, withoutPart int, e
 		shape = next
 	}
 	return withPart, withoutPart, nil
-}
-
-// executePartitioned routes a linear stage through the tensor
-// partitioning executor (internal/partition), which materializes
-// per-thread input views.
-func executePartitioned(ev *paillier.Evaluator, st *linearStage, x *paillier.CipherTensor, inExp int) (*paillier.CipherTensor, int, []partition.CommStats, error) {
-	return partition.ExecuteStage(ev, st.ops, x, inExp, st.threads, st.inputPartition)
 }

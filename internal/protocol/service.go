@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ppstream/internal/backend"
 	"ppstream/internal/nn"
 	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
@@ -33,6 +34,11 @@ type Hello struct {
 	// Workers requests a per-stage thread count on the server (bounded
 	// by the server's own cap).
 	Workers int
+	// Profile is the deployment profile the client requests (additive:
+	// empty from older clients selects privacy-max, the legacy
+	// all-Paillier protocol). The server takes the stricter of this and
+	// its own policy.
+	Profile string
 }
 
 // maxHelloKeyBytes bounds the modulus a client may announce (32768-bit
@@ -75,6 +81,13 @@ type roundFrame struct {
 	// predating the field). The server refreshes its absolute deadline
 	// from this on every frame and evicts expired requests.
 	DeadlineMS int64
+	// Plan and Profile ride the server's round-0 reply: the session's
+	// solved per-round backend assignment (backend.Kind wire codes) and
+	// the effective profile it was solved under. Additive: replies from
+	// servers predating backend negotiation carry neither, and the client
+	// falls back to the legacy all-Paillier protocol.
+	Plan    []int32
+	Profile string
 }
 
 // RegisterServiceWire registers the session frame types with gob.
@@ -118,6 +131,16 @@ type SessionConfig struct {
 	// server-side trace (with cost profiles) into the flight recorder's
 	// bounded rings for /debug/flight and SIGQUIT dumps.
 	Flight *obs.FlightRecorder
+	// Profile is the server's deployment-profile policy. The session runs
+	// under the stricter of this and the client's requested profile, so
+	// the default (empty = privacy-max) preserves the paper's original
+	// all-Paillier protocol unless the operator explicitly relaxes it.
+	Profile backend.Profile
+	// ClearBoundary is the leakage-certified clear boundary: the first
+	// linear round allowed to execute in plaintext (from an offline
+	// internal/leakage.CertifyClearBoundary run). <= 0 means no round is
+	// certified, so the clear backend is never assigned.
+	ClearBoundary int
 }
 
 // DefaultSessionWindow is the concurrent-frame bound a session uses when
@@ -350,26 +373,76 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 	if cfg.MaxWorkers > 0 && workers > cfg.MaxWorkers {
 		workers = cfg.MaxWorkers
 	}
+	// Backend negotiation: the session runs under the stricter of the
+	// server's policy and the client's request. A malformed profile is a
+	// session-fatal hello error, like a bad key.
+	reqProfile, err := backend.ParseProfile(hello.Profile)
+	if err != nil {
+		cfg.Log.Warn("session hello rejected", "err", err.Error())
+		if out != nil {
+			_ = out.Send(ctx, &stream.Message{Seq: first.Seq, Err: err.Error()})
+		}
+		return err
+	}
+	srvProfile, err := backend.ParseProfile(string(cfg.Profile))
+	if err != nil {
+		return fmt.Errorf("protocol: session profile policy: %w", err)
+	}
+	effProfile := backend.Stricter(srvProfile, reqProfile)
+	mp, err := BuildModelProvider(net, pk, Config{Factor: cfg.Factor, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("protocol: building provider for session: %w", err)
+	}
+	// Solve the per-round backend assignment for this session. An
+	// uncertified boundary (<= 0) clamps to the round count: no clear
+	// execution anywhere.
+	boundary := cfg.ClearBoundary
+	if boundary <= 0 {
+		boundary = mp.Stages()
+	}
+	plan, err := backend.PlanFor(effProfile, mp.LayerInfos(), boundary, pk.N.BitLen())
+	if err != nil {
+		return fmt.Errorf("protocol: solving backend plan: %w", err)
+	}
+	if err := mp.SetBackendPlan(plan.Assignment); err != nil {
+		return err
+	}
+	planCodes := plan.Codes()
+	paillierRounds := 0
+	for _, k := range plan.Assignment {
+		if k == backend.PaillierHE {
+			paillierRounds++
+		}
+	}
+	cfg.Log.Info("session plan solved",
+		"profile", string(effProfile), "boundary", plan.Boundary,
+		"paillier_rounds", paillierRounds, "rounds", mp.Stages())
 	// Per-session blinding pool: the kernel re-randomizes every output
 	// ciphertext, and pooled r^n factors keep those exponentiations off
 	// the round-trip critical path. Each precomputed factor is one real
 	// modular exponentiation the fill worker performs off-path, so it is
 	// charged into the process-wide modexp counter here — per-request
-	// meters only ever see the pool misses they caused inline.
+	// meters only ever see the pool misses they caused inline. The pool
+	// is sized to the plan's actual Paillier rounds: a mixed or latency
+	// session that runs most rounds on ss-gc or clear precomputes less.
 	var poolOpts []paillier.PoolOption
 	if reg != nil {
 		poolModExps := reg.Counter("cost.modexps")
 		poolOpts = append(poolOpts, paillier.WithPrecomputeHook(poolModExps.Add))
 	}
-	blind := paillier.NewPool(pk, nil, 64, 1, poolOpts...)
+	poolSize := 24 * paillierRounds
+	if poolSize > 64 {
+		poolSize = 64
+	}
+	if poolSize < 8 {
+		poolSize = 8
+	}
+	blind := paillier.NewPool(pk, nil, poolSize, 1, poolOpts...)
 	defer blind.Close()
 	if reg != nil {
 		reg.GaugeFunc("pool.workers.alive", blind.AliveWorkers)
 	}
-	mp, err := BuildModelProvider(net, pk, Config{Factor: cfg.Factor, Workers: workers, BlindPool: blind})
-	if err != nil {
-		return fmt.Errorf("protocol: building provider for session: %w", err)
-	}
+	mp.SetBlindPool(blind)
 	mp.Instrument(reg)
 	if cfg.Limiter != nil {
 		mp.SetLimiter(cfg.Limiter)
@@ -556,20 +629,32 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			return
 		}
 		// This round's cost profile: the metered crypto ops plus the
-		// ciphertext traffic both ways. It rides on the kernel segment (the
-		// work it explains) and folds into the process-wide cost counters.
+		// activation traffic both ways. It rides on the kernel segment
+		// (the work it explains) and folds into both the process-wide
+		// cost counters and the executing backend's labeled counters
+		// (cost.paillier_he.*, cost.ss_gc.*, cost.clear.*).
+		roundKind := mp.RoundBackend(frame.Round)
 		cost := meter.Snapshot()
 		cost.CipherBytesIn = frame.Env.CipherBytes()
 		cost.CipherBytesOut = wireEnv.CipherBytes()
 		obs.AddCostToRegistry(reg, cost)
+		obs.AddCostToRegistryLabeled(reg, roundKind.MetricName(), cost)
 		// Record this round's server spans under the request; on the last
 		// round they travel back to the client for the merged trace tree.
+		// The kernel span carries the backend that executed it, so the
+		// merged TraceTree shows the ILP's per-round assignment.
 		reqs.addSpans(env.Req,
 			obs.Segment{Party: "server", Name: "queue", Round: frame.Round, Dur: queueWait},
-			obs.Segment{Party: "server", Name: "kernel", Round: frame.Round, Dur: timing.Kernel, Cost: &cost},
+			obs.Segment{Party: "server", Name: "kernel", Round: frame.Round, Dur: timing.Kernel, Cost: &cost, Backend: string(roundKind)},
 			obs.Segment{Party: "server", Name: "permute", Round: frame.Round, Dur: timing.Permute},
 		)
 		reply := &roundFrame{Round: frame.Round, Env: wireEnv, TC: frame.TC}
+		if frame.Round == 0 {
+			// The solved plan rides every round-0 reply (requests share the
+			// session plan, so repeats are idempotent on the client).
+			reply.Plan = planCodes
+			reply.Profile = string(effProfile)
+		}
 		if frame.Round == lastRound {
 			// The request's last linear round: its obfuscation state is
 			// fully consumed; drop the entry instead of leaking it.
@@ -671,6 +756,11 @@ type ClientOptions struct {
 	// Registry, when non-nil, receives "retry.attempts" and
 	// "retry.giveups" counters for the in-session round-0 retries.
 	Registry *obs.Registry
+	// Profile is the deployment profile to request from the server
+	// (empty = privacy-max, the legacy protocol). The session runs the
+	// stricter of this and the server's policy; the client validates the
+	// server's solved plan against that before honoring it.
+	Profile backend.Profile
 }
 
 // DefaultClientWindow is the in-flight bound a client uses when
@@ -692,6 +782,10 @@ type Client struct {
 	nextID   atomic.Uint64
 	deadline time.Duration
 	retry    RetryPolicy
+	profile  backend.Profile
+
+	planMu  sync.Mutex
+	planSet bool
 
 	retryAttempts *obs.Counter
 	retryGiveups  *obs.Counter
@@ -732,7 +826,11 @@ func NewClientOpts(ctx context.Context, in, out stream.Edge, arch *nn.Network, s
 	if window <= 0 {
 		window = DefaultClientWindow
 	}
-	hello := &Hello{N: sk.N.Bytes(), Factor: factor, Workers: opts.Workers}
+	profile, err := backend.ParseProfile(string(opts.Profile))
+	if err != nil {
+		return nil, err
+	}
+	hello := &Hello{N: sk.N.Bytes(), Factor: factor, Workers: opts.Workers, Profile: string(profile)}
 	if err := out.Send(ctx, &stream.Message{Payload: hello}); err != nil {
 		return nil, err
 	}
@@ -743,6 +841,7 @@ func NewClientOpts(ctx context.Context, in, out stream.Edge, arch *nn.Network, s
 		readerDone: make(chan struct{}),
 		deadline:   opts.Deadline,
 		retry:      opts.Retry.withDefaults(),
+		profile:    profile,
 	}
 	if opts.Registry != nil {
 		c.retryAttempts = opts.Registry.Counter("retry.attempts")
@@ -943,6 +1042,14 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 		if !ok {
 			return nil, nil, fmt.Errorf("protocol: expected round frame, got %T", msg.Payload)
 		}
+		if round == 0 {
+			// The server's solved backend plan rides the round-0 reply;
+			// validate it against the requested profile's safety rules
+			// before the session honors it.
+			if err := c.applyPlan(frame); err != nil {
+				return nil, nil, err
+			}
+		}
 		wireCosts[round].CipherBytesIn = frame.Env.CipherBytes()
 		env, err = FromWire(frame.Env, c.pk)
 		if err != nil {
@@ -965,8 +1072,42 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 	if env.Result == nil {
 		return nil, nil, errors.New("protocol: session ended without a result")
 	}
-	tree := mergeTrace(tc.ID, time.Since(begin), queueWait, encDur, roundtrips, nonlinear, serverSegs, encCost, wireCosts, nlCosts)
+	tree := mergeTrace(tc.ID, time.Since(begin), queueWait, encDur, roundtrips, nonlinear, serverSegs, encCost, wireCosts, nlCosts, c.dp.BackendPlan())
 	return env.Result, tree, nil
+}
+
+// applyPlan installs the server's solved backend plan from a round-0
+// reply, once per session. A reply without a plan (a server predating
+// backend negotiation) leaves the legacy all-Paillier behavior in place.
+// The plan is validated under the stricter of the client's requested
+// profile and the server's announced one, so a privacy-max client
+// rejects any plan that takes a round off Paillier.
+func (c *Client) applyPlan(frame *roundFrame) error {
+	if len(frame.Plan) == 0 {
+		return nil
+	}
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if c.planSet {
+		return nil
+	}
+	kinds, err := backend.AssignmentFromCodes(frame.Plan)
+	if err != nil {
+		return fmt.Errorf("protocol: server plan: %w", err)
+	}
+	announced, err := backend.ParseProfile(frame.Profile)
+	if err != nil {
+		return fmt.Errorf("protocol: server plan: %w", err)
+	}
+	eff := backend.Stricter(c.profile, announced)
+	if err := backend.ValidateAssignment(eff, kinds, c.rounds); err != nil {
+		return fmt.Errorf("protocol: rejecting server plan: %w", err)
+	}
+	if err := c.dp.SetBackendPlan(kinds); err != nil {
+		return err
+	}
+	c.planSet = true
+	return nil
 }
 
 // mergeTrace builds the single cross-party TraceTree for one request:
@@ -978,7 +1119,7 @@ func (c *Client) InferTraced(ctx context.Context, x *tensor.Dense) (*tensor.Dens
 // client-encrypt, per-round ciphertext traffic on wire, decryption and
 // re-encryption ops on client-nonlinear; the server's kernel costs arrive
 // inside serverSegs.
-func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, nonlinear []time.Duration, serverSegs []obs.Segment, encCost obs.CostStats, wireCosts, nlCosts []obs.CostStats) *obs.TraceTree {
+func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, nonlinear []time.Duration, serverSegs []obs.Segment, encCost obs.CostStats, wireCosts, nlCosts []obs.CostStats, plan []backend.Kind) *obs.TraceTree {
 	costOrNil := func(st obs.CostStats) *obs.CostStats {
 		if st.IsZero() {
 			return nil
@@ -1013,6 +1154,11 @@ func mergeTrace(id string, total, queueWait, encDur time.Duration, roundtrips, n
 		nlSeg := obs.Segment{Party: "client", Name: "nonlinear", Round: round, Dur: nonlinear[round]}
 		if round < len(nlCosts) {
 			nlSeg.Cost = costOrNil(nlCosts[round])
+		}
+		if round < len(plan) {
+			// Label the client's nonlinear work with the backend whose
+			// round output it decoded (decrypt / gc-relu+open / plain).
+			nlSeg.Backend = string(plan[round])
 		}
 		tree.Segments = append(tree.Segments, nlSeg)
 	}

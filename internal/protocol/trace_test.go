@@ -106,13 +106,15 @@ func TestInferTracedMergesBothParties(t *testing.T) {
 	}
 	const rounds = 2
 	for label, want := range map[string]int{
-		"client-queue":     1,
-		"client-encrypt":   1,
-		"wire":             rounds,
-		"server-queue":     rounds,
-		"server-kernel":    rounds,
-		"server-permute":   rounds,
-		"client-nonlinear": rounds,
+		"client-queue":   1,
+		"client-encrypt": 1,
+		"wire":           rounds,
+		"server-queue":   rounds,
+		// Kernel and nonlinear spans carry the executing backend's label;
+		// the default session runs the all-Paillier plan.
+		"server-kernel[paillier-he]":    rounds,
+		"server-permute":                rounds,
+		"client-nonlinear[paillier-he]": rounds,
 	} {
 		if counts[label] != want {
 			t.Errorf("segment %s appears %d times, want %d", label, counts[label], want)
@@ -220,7 +222,7 @@ func TestInferTracedConcurrent(t *testing.T) {
 	}
 	var sawKernel bool
 	for _, row := range rows {
-		if row.Label == "server-kernel" && row.Count == n && row.P50 > 0 {
+		if row.Label == "server-kernel[paillier-he]" && row.Count == n && row.P50 > 0 {
 			sawKernel = true
 		}
 	}

@@ -6,8 +6,10 @@ import (
 	"math/big"
 	"time"
 
+	"ppstream/internal/backend"
 	"ppstream/internal/obs"
 	"ppstream/internal/paillier"
+	"ppstream/internal/secshare"
 	"ppstream/internal/stream"
 	"ppstream/internal/tensor"
 )
@@ -43,6 +45,9 @@ type WireSpan struct {
 	Round int
 	Nanos int64
 	Cost  *WireCost
+	// Backend names the crypto backend that executed the span's round
+	// (additive: empty from peers predating backend negotiation).
+	Backend string
 }
 
 // WireCost is the gob form of a segment's obs.CostStats crypto-cost
@@ -59,6 +64,14 @@ type WireCost struct {
 	Decrypts       uint64
 	CipherBytesIn  uint64
 	CipherBytesOut uint64
+	// Additive extensions for the non-Paillier backends: Beaver triples
+	// and opened share words (ss-gc linear), garbled AND gates and
+	// extension OTs (gc relu), and plaintext multiply-accumulates (clear).
+	Triples     uint64
+	OpenedWords uint64
+	GCGates     uint64
+	ExtOTs      uint64
+	PlainOps    uint64
 }
 
 // toWireCost converts a segment's cost annotation, nil for segments
@@ -78,6 +91,11 @@ func toWireCost(st *obs.CostStats) *WireCost {
 		Decrypts:       st.Decrypts,
 		CipherBytesIn:  st.CipherBytesIn,
 		CipherBytesOut: st.CipherBytesOut,
+		Triples:        st.Triples,
+		OpenedWords:    st.OpenedWords,
+		GCGates:        st.GCGates,
+		ExtOTs:         st.ExtOTs,
+		PlainOps:       st.PlainOps,
 	}
 }
 
@@ -97,6 +115,11 @@ func fromWireCost(w *WireCost) *obs.CostStats {
 		Decrypts:       w.Decrypts,
 		CipherBytesIn:  w.CipherBytesIn,
 		CipherBytesOut: w.CipherBytesOut,
+		Triples:        w.Triples,
+		OpenedWords:    w.OpenedWords,
+		GCGates:        w.GCGates,
+		ExtOTs:         w.ExtOTs,
+		PlainOps:       w.PlainOps,
 	}
 }
 
@@ -107,7 +130,7 @@ func toWireSpans(segs []obs.Segment) []WireSpan {
 	}
 	out := make([]WireSpan, len(segs))
 	for i, s := range segs {
-		out[i] = WireSpan{Party: s.Party, Name: s.Name, Round: s.Round, Nanos: s.Dur.Nanoseconds(), Cost: toWireCost(s.Cost)}
+		out[i] = WireSpan{Party: s.Party, Name: s.Name, Round: s.Round, Nanos: s.Dur.Nanoseconds(), Cost: toWireCost(s.Cost), Backend: s.Backend}
 	}
 	return out
 }
@@ -123,13 +146,14 @@ func fromWireSpans(spans []WireSpan) []obs.Segment {
 		if s.Nanos < 0 {
 			continue
 		}
-		out = append(out, obs.Segment{Party: s.Party, Name: s.Name, Round: s.Round, Dur: time.Duration(s.Nanos), Cost: fromWireCost(s.Cost)})
+		out = append(out, obs.Segment{Party: s.Party, Name: s.Name, Round: s.Round, Dur: time.Duration(s.Nanos), Cost: fromWireCost(s.Cost), Backend: s.Backend})
 	}
 	return out
 }
 
-// CipherBytes sums the serialized ciphertext payload of a wire envelope —
-// the per-hop ciphertext traffic cost accounting records.
+// CipherBytes sums the serialized activation payload of a wire envelope
+// — ciphertexts, share words, or plaintext integers — the per-hop
+// traffic cost accounting records.
 func (w *WireEnvelope) CipherBytes() uint64 {
 	if w == nil {
 		return 0
@@ -138,13 +162,22 @@ func (w *WireEnvelope) CipherBytes() uint64 {
 	for _, c := range w.Cipher {
 		n += uint64(len(c))
 	}
+	n += 8 * uint64(len(w.Shares0)+len(w.Shares1))
+	for _, p := range w.Plain {
+		n += uint64(len(p))
+	}
 	return n
 }
 
 // WireEnvelope is the gob-encodable form of Envelope for TCP edges
-// between the model and data providers. Only ciphertexts (and, for the
-// terminal hop, the final result) ever cross the wire: raw inputs and
-// model parameters never leave their provider (Section II-C).
+// between the model and data providers. Under the original protocol only
+// ciphertexts (and, for the terminal hop, the final result) ever cross
+// the wire: raw inputs and model parameters never leave their provider
+// (Section II-C). Backend negotiation extends the frame additively: an
+// ss-gc round carries the two share words per element, and a clear round
+// — certified leak-free past the boundary — carries sign-magnitude
+// plaintext integers. Absent fields (Backend 0) decode to the legacy
+// Paillier protocol.
 type WireEnvelope struct {
 	Req        uint64
 	Shape      []int
@@ -154,7 +187,22 @@ type WireEnvelope struct {
 	// Result carries the final plaintext output (terminal hop only).
 	Result      []float64
 	ResultShape []int
+	// Backend is the backend.Kind wire code of the payload (0 =
+	// paillier-he, the legacy protocol).
+	Backend int32
+	// Shares0/Shares1 carry the two additive share words per element for
+	// ss-gc rounds, in flat tensor order.
+	Shares0 []uint64
+	Shares1 []uint64
+	// Plain carries sign-magnitude big integers (leading sign byte, 0
+	// positive / 1 negative, then big-endian magnitude) for clear rounds.
+	Plain [][]byte
 }
+
+// maxPlainElementBytes bounds one clear-round integer's magnitude. Stage
+// outputs at scale F^(exp+1) stay far below this; a hostile frame cannot
+// make the receiver allocate unbounded integers.
+const maxPlainElementBytes = 4096
 
 // RegisterWire registers the wire types with gob. Call once per process
 // before using TCP edges.
@@ -170,23 +218,58 @@ func ToWire(env *Envelope) (*WireEnvelope, error) {
 		w.ResultShape = env.Result.Shape().Clone()
 		return w, nil
 	}
-	if env.CT == nil {
-		return nil, errors.New("protocol: envelope has neither ciphertext nor result")
-	}
-	w.Shape = env.CT.Shape().Clone()
-	w.Cipher = make([][]byte, env.CT.Size())
-	for i, ct := range env.CT.Data() {
-		if ct == nil {
-			return nil, fmt.Errorf("protocol: nil ciphertext at %d", i)
+	kind := env.BackendKind()
+	w.Backend = kind.Code()
+	switch kind {
+	case backend.PaillierHE:
+		if env.CT == nil {
+			return nil, errors.New("protocol: envelope has neither ciphertext nor result")
 		}
-		w.Cipher[i] = ct.Value().Bytes()
+		w.Shape = env.CT.Shape().Clone()
+		w.Cipher = make([][]byte, env.CT.Size())
+		for i, ct := range env.CT.Data() {
+			if ct == nil {
+				return nil, fmt.Errorf("protocol: nil ciphertext at %d", i)
+			}
+			w.Cipher[i] = ct.Value().Bytes()
+		}
+	case backend.SSGC:
+		if env.Sh == nil {
+			return nil, errors.New("protocol: ss-gc envelope has no shares")
+		}
+		w.Shape = env.Sh.Shape().Clone()
+		w.Shares0 = make([]uint64, env.Sh.Size())
+		w.Shares1 = make([]uint64, env.Sh.Size())
+		for i, s := range env.Sh.Data() {
+			w.Shares0[i] = s.S[0]
+			w.Shares1[i] = s.S[1]
+		}
+	case backend.Clear:
+		if env.Plain == nil {
+			return nil, errors.New("protocol: clear envelope has no values")
+		}
+		w.Shape = env.Plain.Shape().Clone()
+		w.Plain = make([][]byte, env.Plain.Size())
+		for i, v := range env.Plain.Data() {
+			if v == nil {
+				return nil, fmt.Errorf("protocol: nil plaintext at %d", i)
+			}
+			sign := byte(0)
+			if v.Sign() < 0 {
+				sign = 1
+			}
+			w.Plain[i] = append([]byte{sign}, v.Bytes()...)
+		}
+	default:
+		return nil, fmt.Errorf("protocol: cannot serialize backend %q", kind)
 	}
 	return w, nil
 }
 
 // FromWire deserializes and validates a WireEnvelope under the given
-// public key. Malformed frames (wrong sizes, out-of-range ciphertexts)
-// are rejected — the receiving provider treats the network as untrusted.
+// public key. Malformed frames (wrong sizes, out-of-range ciphertexts,
+// oversized plaintexts) are rejected — the receiving provider treats the
+// network as untrusted.
 func FromWire(w *WireEnvelope, pk *paillier.PublicKey) (*Envelope, error) {
 	if w == nil {
 		return nil, errors.New("protocol: nil wire envelope")
@@ -200,22 +283,61 @@ func FromWire(w *WireEnvelope, pk *paillier.PublicKey) (*Envelope, error) {
 		env.Result = res
 		return env, nil
 	}
+	kind, err := backend.KindFromCode(w.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	env.Backend = kind
 	shape := tensor.Shape(w.Shape)
 	if err := shape.Validate(); err != nil {
 		return nil, fmt.Errorf("protocol: malformed shape: %w", err)
 	}
-	if len(w.Cipher) != shape.Size() {
-		return nil, fmt.Errorf("protocol: %d ciphertexts for shape %v", len(w.Cipher), shape)
-	}
-	ct := tensor.New[*paillier.Ciphertext](shape...)
-	for i, raw := range w.Cipher {
-		v := new(big.Int).SetBytes(raw)
-		c, err := paillier.NewCiphertextFromValue(v, pk)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: ciphertext %d: %w", i, err)
+	switch kind {
+	case backend.PaillierHE:
+		if len(w.Cipher) != shape.Size() {
+			return nil, fmt.Errorf("protocol: %d ciphertexts for shape %v", len(w.Cipher), shape)
 		}
-		ct.SetFlat(i, c)
+		ct := tensor.New[*paillier.Ciphertext](shape...)
+		for i, raw := range w.Cipher {
+			v := new(big.Int).SetBytes(raw)
+			c, err := paillier.NewCiphertextFromValue(v, pk)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: ciphertext %d: %w", i, err)
+			}
+			ct.SetFlat(i, c)
+		}
+		env.CT = ct
+	case backend.SSGC:
+		if len(w.Shares0) != shape.Size() || len(w.Shares1) != shape.Size() {
+			return nil, fmt.Errorf("protocol: %d/%d share words for shape %v", len(w.Shares0), len(w.Shares1), shape)
+		}
+		sh := tensor.New[secshare.Shares](shape...)
+		for i := range w.Shares0 {
+			sh.SetFlat(i, secshare.Shares{S: [2]uint64{w.Shares0[i], w.Shares1[i]}})
+		}
+		env.Sh = sh
+	case backend.Clear:
+		if len(w.Plain) != shape.Size() {
+			return nil, fmt.Errorf("protocol: %d plaintexts for shape %v", len(w.Plain), shape)
+		}
+		plain := tensor.New[*big.Int](shape...)
+		for i, raw := range w.Plain {
+			if len(raw) == 0 {
+				return nil, fmt.Errorf("protocol: plaintext %d is empty", i)
+			}
+			if len(raw) > maxPlainElementBytes {
+				return nil, fmt.Errorf("protocol: plaintext %d is %d bytes, limit %d", i, len(raw), maxPlainElementBytes)
+			}
+			if raw[0] > 1 {
+				return nil, fmt.Errorf("protocol: plaintext %d has sign byte %d", i, raw[0])
+			}
+			v := new(big.Int).SetBytes(raw[1:])
+			if raw[0] == 1 {
+				v.Neg(v)
+			}
+			plain.SetFlat(i, v)
+		}
+		env.Plain = plain
 	}
-	env.CT = ct
 	return env, nil
 }

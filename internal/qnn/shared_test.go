@@ -1,0 +1,142 @@
+package qnn
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"ppstream/internal/nn"
+	"ppstream/internal/secshare"
+	"ppstream/internal/tensor"
+)
+
+// shareBigTensor splits a big-integer tensor (already at some scale
+// F^exp) into additive ring shares.
+func shareBigTensor(t *testing.T, x *tensor.Tensor[*big.Int]) *tensor.Tensor[secshare.Shares] {
+	t.Helper()
+	out := tensor.New[secshare.Shares](x.Shape()...)
+	for i, v := range x.Data() {
+		s, err := secshare.SplitRandom(rand.Reader, secshare.RingOfBig(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.SetFlat(i, s)
+	}
+	return out
+}
+
+// reconstructBigTensor opens a shared tensor back into signed big
+// integers for comparison against the plaintext reference.
+func reconstructBigTensor(x *tensor.Tensor[secshare.Shares]) *tensor.Tensor[*big.Int] {
+	out := tensor.New[*big.Int](x.Shape()...)
+	for i, s := range x.Data() {
+		out.SetFlat(i, big.NewInt(secshare.SignedOfRing(s.Reconstruct())))
+	}
+	return out
+}
+
+// randomBigInput builds an integer input tensor at scale F (exponent 1)
+// from small float activations, as the data provider would.
+func randomBigInput(rng *mrand.Rand, F int64, shape ...int) *tensor.Tensor[*big.Int] {
+	x := tensor.Zeros(shape...)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	xi := ScaleInput(x, F)
+	return tensor.Map(xi, func(v int64) *big.Int { return big.NewInt(v) })
+}
+
+// TestApplyStageSharedMatchesPlain is the qnn half of the backend
+// differential guarantee: executing a randomized linear stage over
+// secret shares reconstructs bit-identically to the big-integer
+// reference, for each supported op type.
+func TestApplyStageSharedMatchesPlain(t *testing.T) {
+	const F = 100
+	rng := mrand.New(mrand.NewSource(77))
+
+	stages := []struct {
+		name   string
+		layers []nn.Layer
+		shape  tensor.Shape
+	}{
+		{"fc", []nn.Layer{nn.NewFC("fc", 9, 7, rng)}, tensor.Shape{9}},
+		{"fc+fc", []nn.Layer{nn.NewFC("a", 6, 8, rng), nn.NewFC("b", 8, 4, rng)}, tensor.Shape{6}},
+		{"flatten+fc", []nn.Layer{nn.NewFlatten("fl"), nn.NewFC("fc", 12, 5, rng)}, tensor.Shape{3, 2, 2}},
+	}
+	if conv, err := nn.NewConv("cv", tensor.ConvParams{InC: 2, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}, rng); err == nil {
+		stages = append(stages, struct {
+			name   string
+			layers []nn.Layer
+			shape  tensor.Shape
+		}{"conv", []nn.Layer{conv}, tensor.Shape{2, 5, 5}})
+	} else {
+		t.Fatal(err)
+	}
+	bn := nn.NewBatchNorm("bn", 3)
+	for ch := 0; ch < 3; ch++ {
+		bn.Gamma.Set(0.5+rng.Float64(), ch)
+		bn.Beta.Set(rng.NormFloat64(), ch)
+		bn.Mean.Set(rng.NormFloat64(), ch)
+		bn.Var.Set(0.5+rng.Float64(), ch)
+	}
+	stages = append(stages, struct {
+		name   string
+		layers []nn.Layer
+		shape  tensor.Shape
+	}{"batchnorm", []nn.Layer{bn}, tensor.Shape{3, 4, 4}})
+
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			ops := make([]Op, len(st.layers))
+			for i, l := range st.layers {
+				op, err := Quantize(l, F)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops[i] = op
+			}
+			for trial := 0; trial < 3; trial++ {
+				x := randomBigInput(rng, F, st.shape...)
+				want, wantExp, err := ApplyStagePlain(ops, x, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng := secshare.NewEngine(int64(trial) + 1)
+				xs := shareBigTensor(t, x)
+				got, gotExp, err := ApplyStageShared(eng, ops, xs, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotExp != wantExp {
+					t.Fatalf("exp %d, want %d", gotExp, wantExp)
+				}
+				rec := reconstructBigTensor(got)
+				for i, w := range want.Data() {
+					if rec.Data()[i].Cmp(w) != 0 {
+						t.Fatalf("trial %d elem %d: shared %s != plain %s", trial, i, rec.Data()[i], w)
+					}
+				}
+				if eng.Stats.TriplesUsed == 0 && st.name != "flatten" {
+					t.Fatal("no Beaver triples consumed")
+				}
+			}
+		})
+	}
+}
+
+func TestMulCount(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	fc := nn.NewFC("fc", 4, 3, rng)
+	op, err := Quantize(fc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MulCount(op, tensor.Shape{4}); got <= 0 || got > 12 {
+		t.Fatalf("fc MulCount = %d, want in (0,12]", got)
+	}
+	fl, _ := Quantize(nn.NewFlatten("fl"), 100)
+	if got := MulCount(fl, tensor.Shape{4}); got != 0 {
+		t.Fatalf("flatten MulCount = %d, want 0", got)
+	}
+}

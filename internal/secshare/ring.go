@@ -1,0 +1,104 @@
+package secshare
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// This file holds the integer-exact ring arithmetic the live ss-gc
+// backend runs on: values are the SAME scaled integers the quantized
+// network (internal/qnn) computes over — x·F^exp with int64 weights at
+// scale F — shared additively in Z_{2^64} and multiplied with Beaver
+// triples WITHOUT truncation. Because ring arithmetic mod 2^64 agrees
+// with integer arithmetic whenever |value| < 2^63, a layer executed here
+// reconstructs bit-identically to qnn's big-integer ApplyPlain reference
+// (the protocol's scale guard keeps magnitudes in range). This is what
+// makes the differential backend tests exact rather than approximate —
+// unlike the fixed-point FracBits ops above, which truncate after every
+// multiplication as SecureML does.
+
+// RingOfBig reduces a big integer into Z_{2^64} (two's complement for
+// negatives) — how quantized biases at scale F^(exp+1) enter the ring.
+func RingOfBig(v *big.Int) uint64 {
+	// big.Int bitwise ops act on the infinite two's-complement form, so
+	// masking to 64 bits IS reduction mod 2^64, negatives included.
+	var m big.Int
+	return m.And(v, ringMask).Uint64()
+}
+
+var ringMask = new(big.Int).SetUint64(^uint64(0))
+
+// SignedOfRing interprets a reconstructed ring value as the signed
+// integer it represents (exact while |value| < 2^63).
+func SignedOfRing(v uint64) int64 { return int64(v) }
+
+// SplitRandom shares a ring value with randomness drawn from r — the
+// data provider's share split, which must use crypto/rand so neither
+// share alone reveals anything about the value.
+func SplitRandom(r io.Reader, v uint64) (Shares, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Shares{}, fmt.Errorf("secshare: share randomness: %w", err)
+	}
+	s0 := binary.BigEndian.Uint64(b[:])
+	return Shares{S: [2]uint64{s0, v - s0}}, nil
+}
+
+// MulPrivateInt multiplies a sharing by party 0's private int64
+// multiplicand through one Beaver triple, with NO truncation: the
+// product stays at the combined scale, exactly as integer arithmetic
+// would produce. Openings are accounted by mulRaw.
+func (e *Engine) MulPrivateInt(w int64, x Shares) Shares {
+	return e.mulRaw(Shares{S: [2]uint64{uint64(w), 0}}, x)
+}
+
+// DotPrivateInt computes Σ_j w_j·x_j + bias over the ring with party
+// 0's private int64 weights and big-integer bias (reduced into the
+// ring), skipping zero weights exactly like the plaintext reference.
+// No truncation is applied: the result is at scale F^(inExp+1) when the
+// inputs are at F^inExp and the weights at F.
+func (e *Engine) DotPrivateInt(w []int64, x []Shares, bias *big.Int) (Shares, error) {
+	if len(w) != len(x) {
+		return Shares{}, fmt.Errorf("secshare: int dot length mismatch %d vs %d", len(w), len(x))
+	}
+	var acc Shares
+	if bias != nil {
+		acc.S[0] = RingOfBig(bias)
+	}
+	for j, wj := range w {
+		if wj == 0 {
+			continue
+		}
+		p := e.mulRaw(Shares{S: [2]uint64{uint64(wj), 0}}, x[j])
+		acc.S[0] += p.S[0]
+		acc.S[1] += p.S[1]
+	}
+	return acc, nil
+}
+
+// ScalePrivateInt applies party 0's private per-element int64 scale and
+// big-integer shift to one sharing (the quantized affine op's element
+// step), untruncated.
+func (e *Engine) ScalePrivateInt(scale int64, shift *big.Int, x Shares) Shares {
+	out := e.mulRaw(Shares{S: [2]uint64{uint64(scale), 0}}, x)
+	if shift != nil {
+		out.S[0] += RingOfBig(shift)
+	}
+	return out
+}
+
+// OpenRing reconstructs a shared ring vector into signed integers,
+// charging one batched opening round. This is the data provider's
+// reconstruction step; the opened words are what actually crosses the
+// wire in a two-server deployment.
+func (e *Engine) OpenRing(xs []Shares) []int64 {
+	e.Stats.Rounds++
+	e.Stats.OpenedWords += 2 * len(xs)
+	out := make([]int64, len(xs))
+	for i, s := range xs {
+		out[i] = SignedOfRing(s.Reconstruct())
+	}
+	return out
+}

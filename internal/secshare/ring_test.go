@@ -1,0 +1,172 @@
+package secshare
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+func TestRingOfBig(t *testing.T) {
+	cases := []struct {
+		in   *big.Int
+		want uint64
+	}{
+		{big.NewInt(0), 0},
+		{big.NewInt(1), 1},
+		{big.NewInt(-1), ^uint64(0)},
+		{big.NewInt(1 << 40), 1 << 40},
+		{big.NewInt(-(1 << 40)), ^uint64(1<<40) + 1},
+		{new(big.Int).Lsh(big.NewInt(1), 64), 0},
+		{new(big.Int).Add(new(big.Int).Lsh(big.NewInt(1), 64), big.NewInt(7)), 7},
+		{new(big.Int).Neg(new(big.Int).Lsh(big.NewInt(1), 64)), 0},
+	}
+	for _, c := range cases {
+		if got := RingOfBig(c.in); got != c.want {
+			t.Errorf("RingOfBig(%s) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Signed round trip within int64 range.
+	rng := mrand.New(mrand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		v := rng.Int63n(1<<62) - 1<<61
+		if got := SignedOfRing(RingOfBig(big.NewInt(v))); got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestSplitRandomReconstructs(t *testing.T) {
+	for _, v := range []uint64{0, 1, ^uint64(0), 1 << 63, 0xdeadbeefcafe} {
+		s, err := SplitRandom(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Reconstruct(); got != v {
+			t.Fatalf("Reconstruct = %d, want %d", got, v)
+		}
+	}
+	if _, err := SplitRandom(failingReader{}, 1); err == nil {
+		t.Fatal("broken entropy source must surface an error")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errEntropy }
+
+var errEntropy = &entropyErr{}
+
+type entropyErr struct{}
+
+func (*entropyErr) Error() string { return "no entropy" }
+
+// TestDotPrivateIntExact proves the untruncated ring dot product is
+// bit-identical to big-integer arithmetic for magnitudes below 2^63 —
+// the exactness property the ss-gc backend's differential tests build on.
+func TestDotPrivateIntExact(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	e := NewEngine(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(24)
+		w := make([]int64, n)
+		xs := make([]Shares, n)
+		ref := big.NewInt(0)
+		for j := 0; j < n; j++ {
+			// Weights at a ~F=100 scale, inputs at ~F^2: products stay
+			// far below 2^63 even summed.
+			w[j] = rng.Int63n(20000) - 10000
+			if rng.Intn(5) == 0 {
+				w[j] = 0 // exercise the zero-weight skip
+			}
+			xv := rng.Int63n(2_000_000) - 1_000_000
+			var err error
+			xs[j], err = SplitRandom(rand.Reader, RingOfBig(big.NewInt(xv)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Add(ref, new(big.Int).Mul(big.NewInt(w[j]), big.NewInt(xv)))
+		}
+		bias := big.NewInt(rng.Int63n(2_000_000_000) - 1_000_000_000)
+		ref.Add(ref, bias)
+
+		before := e.Stats.TriplesUsed
+		got, err := e.DotPrivateInt(w, xs, bias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sv := SignedOfRing(got.Reconstruct()); sv != ref.Int64() {
+			t.Fatalf("trial %d: dot = %d, want %s", trial, sv, ref)
+		}
+		nonzero := 0
+		for _, wj := range w {
+			if wj != 0 {
+				nonzero++
+			}
+		}
+		if used := e.Stats.TriplesUsed - before; used != nonzero {
+			t.Fatalf("trial %d: %d triples for %d nonzero weights", trial, used, nonzero)
+		}
+	}
+}
+
+func TestDotPrivateIntLengthMismatch(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := e.DotPrivateInt([]int64{1, 2}, make([]Shares, 3), nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestMulPrivateIntExact(t *testing.T) {
+	e := NewEngine(3)
+	rng := mrand.New(mrand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		w := rng.Int63n(1<<20) - 1<<19
+		x := rng.Int63n(1<<40) - 1<<39
+		xs, err := SplitRandom(rand.Reader, RingOfBig(big.NewInt(x)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SignedOfRing(e.MulPrivateInt(w, xs).Reconstruct())
+		if want := w * x; got != want {
+			t.Fatalf("mul %d*%d = %d, want %d", w, x, got, want)
+		}
+	}
+}
+
+func TestScalePrivateIntExact(t *testing.T) {
+	e := NewEngine(4)
+	xs, err := SplitRandom(rand.Reader, RingOfBig(big.NewInt(1234)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.ScalePrivateInt(-3, big.NewInt(500), xs)
+	if got := SignedOfRing(out.Reconstruct()); got != -3*1234+500 {
+		t.Fatalf("scale = %d, want %d", got, -3*1234+500)
+	}
+	out = e.ScalePrivateInt(2, nil, xs)
+	if got := SignedOfRing(out.Reconstruct()); got != 2468 {
+		t.Fatalf("scale nil shift = %d", got)
+	}
+}
+
+func TestOpenRingChargesStats(t *testing.T) {
+	e := NewEngine(6)
+	xs := make([]Shares, 5)
+	for i := range xs {
+		var err error
+		xs[i], err = SplitRandom(rand.Reader, RingOfBig(big.NewInt(int64(i)-2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals := e.OpenRing(xs)
+	for i, v := range vals {
+		if v != int64(i)-2 {
+			t.Fatalf("open[%d] = %d", i, v)
+		}
+	}
+	if e.Stats.Rounds != 1 || e.Stats.OpenedWords != 10 {
+		t.Fatalf("stats = %+v, want 1 round / 10 words", e.Stats)
+	}
+}
