@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|backends|chaos|top|all>
+//	ppbench [flags] <fig1|table3|table4|table5|fig6|fig7|fig8|fig9|table6|table7|stages|serve|trace|backends|chaos|swarm|top|traces|all>
 //
 // Flags:
 //
@@ -20,8 +20,19 @@
 //
 // `ppbench top` is a live console view over a running ppserver's
 // /metrics endpoint: per-tick request/round throughput, crypto-op rates
-// from the cost meters, and per-stage latency percentiles. It takes
-// -addr (the ppserver -metrics address), -every, and -iters.
+// from the cost meters, and per-stage latency percentiles — plus the
+// windowed last-minute rates when the server exposes /debug/live. It
+// takes -addr (the ppserver -metrics address), -every, and -iters.
+//
+// `ppbench traces` lists a running ppserver's tail-sampled span store
+// (/debug/traces) and renders the slowest retained trace; it takes
+// -addr, -since, -minms, and -limit.
+//
+// `ppbench swarm` is the open-loop Poisson load harness: it deploys a
+// live server, sweeps offered load past saturation, reports the
+// latency-vs-load knee, and fails when the SLO burn-rate engine, the
+// windowed metrics, or the span store disagree with the run's own
+// ground truth.
 package main
 
 import (
@@ -42,9 +53,12 @@ func main() {
 	quick := flag.Bool("quick", false, "restrict to the smallest model subsets")
 	real := flag.Bool("real", false, "wall-clock latency (multi-core hosts) instead of the calibrated model")
 	jsonOut := flag.Bool("json", false, "also write a versioned BENCH_<experiment>.json record (kernel, serve, trace)")
-	addr := flag.String("addr", "127.0.0.1:7200", "metrics endpoint for `top` (ppserver -metrics address)")
+	addr := flag.String("addr", "127.0.0.1:7200", "metrics endpoint for `top`/`traces` (ppserver -metrics address)")
 	every := flag.Duration("every", 2*time.Second, "poll interval for `top`")
 	iters := flag.Int("iters", 0, "frames to render for `top` (0 = until interrupted)")
+	since := flag.String("since", "", "for `traces`: only records from the trailing window (e.g. 10m) or an RFC3339 instant")
+	minMS := flag.Float64("minms", 0, "for `traces`: only requests at least this many milliseconds")
+	limit := flag.Int("limit", 0, "for `traces`: record cap (0 = server default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ppbench [flags] <experiment>\n\nexperiments:\n")
 		fmt.Fprintf(os.Stderr, "  fig1     Paillier benchmark vs key size\n")
@@ -63,7 +77,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  trace    merged cross-party trace over TCP: per-segment (client/wire/server) p50/p95/p99\n")
 		fmt.Fprintf(os.Stderr, "  backends per-round crypto-backend comparison: one live TCP session per profile (latency/privacy-max/mixed), per-round kernel medians and per-backend cost counters\n")
 		fmt.Fprintf(os.Stderr, "  chaos    fault-injection smoke: injected delays/resets plus shed/throttle pressure; fails on lost requests or goroutine leaks\n")
-		fmt.Fprintf(os.Stderr, "  top      live console view over a running ppserver's /metrics (see -addr, -every, -iters)\n")
+		fmt.Fprintf(os.Stderr, "  swarm    open-loop Poisson load sweep over a live server: latency-vs-load knee, SLO burn-rate alert, span-store retention, windowed-metric cross-checks\n")
+		fmt.Fprintf(os.Stderr, "  top      live console view over a running ppserver's /metrics and /debug/live (see -addr, -every, -iters)\n")
+		fmt.Fprintf(os.Stderr, "  traces   list a running ppserver's tail-sampled span store (see -addr, -since, -minms, -limit)\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -84,6 +100,13 @@ func main() {
 	if name == "top" {
 		if err := experiments.Top(os.Stdout, experiments.TopOptions{Addr: *addr, Every: *every, Iterations: *iters}); err != nil {
 			fmt.Fprintf(os.Stderr, "ppbench top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if name == "traces" {
+		if err := experiments.Traces(os.Stdout, experiments.TracesOptions{Addr: *addr, Since: *since, MinMS: *minMS, Limit: *limit}); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench traces: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -243,6 +266,21 @@ func run(name string, cfg experiments.Config, jsonOut bool) error {
 			if err := emitJSON(name, cfg, res); err != nil {
 				return err
 			}
+		}
+	case "swarm":
+		res, err := experiments.Swarm(cfg)
+		if res != nil {
+			fmt.Print(res.Render())
+			// Write the artifact even on a failed invariant: the sweep is
+			// the thing worth debugging from CI.
+			if jsonOut {
+				if jerr := emitJSON(name, cfg, res); jerr != nil && err == nil {
+					err = jerr
+				}
+			}
+		}
+		if err != nil {
+			return err
 		}
 	case "all":
 		for _, sub := range []string{"fig1", "kernel", "table3", "table4", "table5", "fig6", "fig8", "fig7", "fig9", "table6", "table7", "stages"} {

@@ -29,15 +29,22 @@
 // split, TCP byte/frame counters, runtime gauges) is served at
 // http://<addr>/metrics — JSON by default, Prometheus text at
 // /metrics/prometheus or with ?format=prometheus — plus /healthz,
-// /readyz, and pprof at /debug/pprof/. The flight recorder (-flight)
+// /readyz, and pprof at /debug/pprof/. Windowed (last-minute) views of
+// the serve metrics are at /debug/live; tail-sampled request traces
+// (-tracedir, -tracesample) are queryable at /debug/traces; -slo
+// objectives (e.g. p99=250ms,avail=99.9) are evaluated as multi-window
+// burn-rate alerts at /debug/slo. The flight recorder (-flight)
 // keeps the last N request traces with per-round crypto-cost profiles,
 // served at /debug/flight and dumped to stderr on SIGQUIT; -profiledir
 // enables periodic labeled CPU/heap profile capture.
 //
 // The server emits structured JSON log lines (startup configuration,
 // session lifecycle, a shutdown summary with request counts and uptime
-// on SIGINT/SIGTERM). Rounds slower than -slow are logged with their
-// trace ID, correlating with the client's merged trace.
+// on SIGINT/SIGTERM). On SIGTERM the server first flips /readyz to
+// not-ready and raises the serve.draining gauge, then keeps serving for
+// -drain so load balancers route traffic away before it exits. Rounds
+// slower than -slow are logged with their trace ID, correlating with
+// the client's merged trace.
 package main
 
 import (
@@ -77,6 +84,10 @@ func main() {
 	flightN := flag.Int("flight", obs.DefaultFlightRecent, "flight recorder ring size: keep the last N request traces with cost profiles at /debug/flight and on SIGQUIT (0 disables)")
 	profileDir := flag.String("profiledir", "", "write periodic labeled CPU/heap profiles into this directory (empty disables)")
 	profileEvery := flag.Duration("profileevery", time.Minute, "continuous-profiling capture period (with -profiledir)")
+	sloSpec := flag.String("slo", "", "comma-separated SLO specs evaluated as multi-window burn rates, e.g. p99=250ms,avail=99.9 (served at /debug/slo; empty disables)")
+	traceDir := flag.String("tracedir", "", "persist tail-sampled request traces as rotated JSONL under this directory (empty keeps them in memory only)")
+	traceSample := flag.Float64("tracesample", 0, "probability of retaining an unremarkable trace in the span store (errored/shed/slowest are always kept)")
+	drain := flag.Duration("drain", 2*time.Second, "on SIGTERM, stay up this long after /readyz flips not-ready so load balancers drain us first")
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
@@ -115,6 +126,38 @@ func main() {
 		flight = obs.NewFlightRecorder(*flightN, 0, 0)
 	}
 
+	// The span store keeps the traces worth keeping: errored, shed, and
+	// deadline-expired requests always, the slowest of each window, and a
+	// -tracesample slice of the rest. With -tracedir set they survive the
+	// process as rotated JSONL; either way they answer /debug/traces.
+	traces, err := obs.NewTraceStore(obs.TraceStoreConfig{
+		Dir:        *traceDir,
+		SampleProb: *traceSample,
+		Registry:   reg,
+	})
+	if err != nil {
+		logger.Error("trace store failed", "dir", *traceDir, "err", err.Error())
+		os.Exit(1)
+	}
+	defer traces.Close()
+
+	// SLO engine: declarative objectives evaluated as multi-window
+	// burn-rate alerts over every session's request stream. One engine is
+	// shared server-wide so the error budget is global.
+	var slo *obs.SLOEngine
+	if *sloSpec != "" {
+		specs, err := obs.ParseSLOSpecs(*sloSpec)
+		if err != nil {
+			logger.Error("bad -slo", "err", err.Error())
+			os.Exit(2)
+		}
+		slo, err = obs.NewSLOEngine(obs.SLOConfig{Specs: specs, Registry: reg})
+		if err != nil {
+			logger.Error("slo engine rejected", "err", err.Error())
+			os.Exit(2)
+		}
+	}
+
 	// Admission control is shared across every session so the in-flight
 	// bound and rate limit are global to the server, not per connection.
 	var shed *protocol.Shedder
@@ -135,9 +178,13 @@ func main() {
 	}
 
 	var ready atomic.Bool
+	// serve.draining flips to 1 the moment SIGTERM lands: scrapes taken
+	// during the drain window are distinguishable from healthy samples.
+	var draining atomic.Int64
+	reg.GaugeFunc("serve.draining", draining.Load)
 	metricsBound := ""
 	if *metricsAddr != "" {
-		bound, stop, err := obs.ServeOpts(*metricsAddr, obs.HTTPOptions{Ready: ready.Load, Flight: flight}, reg)
+		bound, stop, err := obs.ServeOpts(*metricsAddr, obs.HTTPOptions{Ready: ready.Load, Flight: flight, Traces: traces, SLO: slo}, reg)
 		if err != nil {
 			logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err.Error())
 			os.Exit(1)
@@ -201,7 +248,15 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
+		// Drain choreography: flip /readyz first so load balancers stop
+		// routing to us, keep accepting the in-flight tail for -drain,
+		// then summarize and exit. SIGINT (interactive) skips the wait.
 		ready.Store(false)
+		draining.Store(1)
+		if sig == syscall.SIGTERM && *drain > 0 {
+			logger.Info("ppserver draining", "drain", drain.String())
+			time.Sleep(*drain)
+		}
 		snap := reg.Snapshot()
 		logger.Info("ppserver shutting down",
 			"signal", sig.String(),
@@ -238,6 +293,8 @@ func main() {
 				Registry:      reg,
 				Log:           slog,
 				Flight:        flight,
+				Traces:        traces,
+				SLO:           slo,
 				Profile:       srvProfile,
 				ClearBoundary: *clearBoundary,
 			}

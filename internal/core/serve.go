@@ -111,22 +111,30 @@ func (e *Engine) Submit(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *s
 	if d == nil {
 		return nil, nil, ErrNotServing
 	}
+	// Cumulative counters answer "since boot"; the live siblings answer
+	// "right now" for /debug/live and ppbench top's rate columns.
+	countErr := func() {
+		e.reg.Counter("serve.requests.err").Inc()
+		e.reg.LiveCounter("serve.requests.err").Inc()
+	}
 	if err := shed.Acquire(); err != nil {
 		e.reg.Counter("serve.requests.shed").Inc()
+		e.reg.LiveCounter("serve.requests.shed").Inc()
 		return nil, nil, err
 	}
 	defer shed.Release()
 	start := time.Now()
 	m, err := d.Do(ctx, x)
 	if err != nil {
-		e.reg.Counter("serve.requests.err").Inc()
+		countErr()
 		return nil, nil, err
 	}
 	elapsed := time.Since(start)
 	shed.Observe(elapsed)
 	e.reg.Histogram("serve.latency").Observe(elapsed)
+	e.reg.LiveHistogram("serve.latency").Observe(elapsed)
 	if m.Err != "" {
-		e.reg.Counter("serve.requests.err").Inc()
+		countErr()
 		// The failed message skipped the remaining stages, including the
 		// final one that drops the request's obfuscation state — release
 		// it here so failed requests do not leak permutations.
@@ -135,9 +143,10 @@ func (e *Engine) Submit(ctx context.Context, x *tensor.Dense) (*tensor.Dense, *s
 	}
 	env, ok := m.Payload.(*protocol.Envelope)
 	if !ok || env.Result == nil {
-		e.reg.Counter("serve.requests.err").Inc()
+		countErr()
 		return nil, m.Trace, &RequestError{Seq: m.Seq, Msg: fmt.Sprintf("no result in payload %T", m.Payload)}
 	}
 	e.reg.Counter("serve.requests.ok").Inc()
+	e.reg.LiveCounter("serve.requests.ok").Inc()
 	return env.Result, m.Trace, nil
 }

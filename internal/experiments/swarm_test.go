@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ppstream/internal/obs"
+)
+
+// TestSwarmSmoke runs the open-loop load harness once in quick mode and
+// lets its own invariants gate: a knee must appear, the fast burn-rate
+// alert must fire under the overload points, and the slowest request's
+// merged trace must be retained. Under -race this exercises the whole
+// serving plane concurrently — Poisson arrival goroutines, shedder,
+// limiter, SLO engine, trace store, and windowed metrics.
+func TestSwarmSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm harness in -short mode")
+	}
+	res, err := Swarm(quickCfg())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Render())
+	}
+	if res.KneeIndex < 0 {
+		t.Error("no knee detected")
+	}
+	if !res.FastAlertFired {
+		t.Error("fast burn-rate alert did not fire under overload")
+	}
+	if !res.SlowTraceRetained || res.SlowTraceID == "" {
+		t.Errorf("slow trace not retained: %+v", res.SlowTraceID)
+	}
+	if res.LiveChecked && res.LiveOK != res.CumulativeOK {
+		t.Errorf("live ok %d != cumulative ok %d", res.LiveOK, res.CumulativeOK)
+	}
+
+	// The retained slow trace is retrievable over the wire: mount the
+	// harness's trace store behind /debug/traces and pull the full merged
+	// tree back out, exactly as an operator would.
+	srv := httptest.NewServer(obs.HandlerOpts(obs.HTTPOptions{Traces: res.Traces}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces?id=" + res.SlowTraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/traces status %d: %s", resp.StatusCode, body)
+	}
+	var recs []obs.TraceRecord
+	if err := json.Unmarshal(body, &recs); err != nil {
+		t.Fatalf("/debug/traces payload: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("slow trace query returned no records")
+	}
+	// Both sides may have retained the same ID (the server keeps its own
+	// view, the client the merged one) — the merged client+server tree
+	// must be among them.
+	merged := false
+	for _, rec := range recs {
+		if rec.Trace == nil || rec.Trace.ID != res.SlowTraceID {
+			t.Fatalf("ID query returned foreign record %+v", rec)
+		}
+		parties := map[string]bool{}
+		for _, seg := range rec.Trace.Segments {
+			parties[seg.Party] = true
+		}
+		if rec.Trace.Total > 0 && parties["client"] && parties["server"] {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Errorf("no merged client+server tree among %d records for %s", len(recs), res.SlowTraceID)
+	}
+
+	out := res.Render()
+	for _, want := range []string{"offered/s", "<- knee", "slo ", "slow trace retained: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+// TestRenderTraceRecords: the ppbench traces table lists every record
+// and expands the slowest retained tree.
+func TestRenderTraceRecords(t *testing.T) {
+	if out := RenderTraceRecords(nil); !strings.Contains(out, "no retained traces") {
+		t.Errorf("empty render:\n%s", out)
+	}
+	recs := []obs.TraceRecord{
+		{
+			When:   time.Unix(1_700_000_000, 0).UTC(),
+			Reason: obs.TraceKeptError,
+			Err:    "deadline exceeded",
+			Trace: &obs.TraceTree{ID: "t-err", Total: 2 * time.Millisecond, Segments: []obs.Segment{
+				{Party: "client", Name: "encrypt", Round: -1, Dur: 2 * time.Millisecond},
+			}},
+		},
+		{
+			When:   time.Unix(1_700_000_001, 0).UTC(),
+			Reason: obs.TraceKeptSlow,
+			Trace: &obs.TraceTree{ID: "t-slow", Total: 90 * time.Millisecond, Segments: []obs.Segment{
+				{Party: "client", Name: "encrypt", Round: -1, Dur: 40 * time.Millisecond},
+				{Party: "server", Name: "kernel", Round: 0, Dur: 50 * time.Millisecond},
+			}},
+		},
+	}
+	out := RenderTraceRecords(recs)
+	for _, want := range []string{"t-err", "t-slow", "deadline exceeded", "slowest retained (t-slow)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -18,6 +18,13 @@ import (
 // the serving plane's vitals — request/round throughput, crypto-op rates
 // from the cost meter, and the per-stage/per-round latency percentiles —
 // without attaching a debugger or scraping Prometheus.
+//
+// When the server also exposes /debug/live (the windowed-metric
+// snapshot), its last-minute rates and latency percentiles are rendered
+// as a "live" section — truer than diffing cumulative counters, which
+// smears bursts across the poll interval. Servers predating the live
+// plane simply lack the endpoint; the fetch failure is silent and the
+// cumulative diff remains the whole frame.
 
 // TopOptions configures the live metrics view.
 type TopOptions struct {
@@ -44,6 +51,7 @@ func Top(w io.Writer, opts TopOptions) error {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
 	url := "http://" + opts.Addr + "/metrics?format=json"
+	liveURL := "http://" + opts.Addr + "/debug/live"
 	var prev *obs.Snapshot
 	failures := 0
 	for frame := 0; opts.Iterations == 0 || frame < opts.Iterations; frame++ {
@@ -60,10 +68,40 @@ func Top(w io.Writer, opts TopOptions) error {
 			continue
 		}
 		failures = 0
-		fmt.Fprint(w, renderTopFrame(snap, prev, opts.Every))
+		// Best-effort: older servers have no /debug/live; fall back to
+		// the cumulative-diff rates alone.
+		live, _ := fetchLive(client, liveURL)
+		fmt.Fprint(w, renderTopFrame(snap, prev, live, opts.Every))
 		prev = snap
 	}
 	return nil
+}
+
+// fetchLive fetches the windowed-metric snapshot, tolerating the
+// multi-registry array form. Any error (including 404 from servers
+// predating /debug/live) returns nil.
+func fetchLive(client *http.Client, url string) (*obs.LiveSnapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.LiveSnapshot
+	if err := json.Unmarshal(data, &snap); err == nil && (snap.Name != "" || len(snap.Counters) > 0) {
+		return &snap, nil
+	}
+	var snaps []obs.LiveSnapshot
+	if err := json.Unmarshal(data, &snaps); err != nil || len(snaps) == 0 {
+		return nil, fmt.Errorf("unrecognized live payload (%d bytes)", len(data))
+	}
+	return &snaps[0], nil
 }
 
 // fetchSnapshot fetches and decodes one registry snapshot. A multi-
@@ -104,10 +142,37 @@ func counterRate(name string, cur *obs.Snapshot, prev *obs.Snapshot, every time.
 }
 
 // renderTopFrame formats one tick: throughput counters, crypto-op rates,
-// and latency histograms, each sorted for stable output.
-func renderTopFrame(cur, prev *obs.Snapshot, every time.Duration) string {
+// and latency histograms, each sorted for stable output, plus the
+// windowed last-minute section when the server exposes /debug/live.
+func renderTopFrame(cur, prev *obs.Snapshot, live *obs.LiveSnapshot, every time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== %s @ %s ===\n", cur.Name, cur.TakenAt.Format("15:04:05"))
+
+	if live != nil && (len(live.Counters) > 0 || len(live.Histograms) > 0) {
+		b.WriteString("  live (last minute):\n")
+		var names []string
+		for name := range live.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := live.Counters[name]
+			fmt.Fprintf(&b, "    %-24s %d (%.1f/s)\n", name, c.Count, c.Rate)
+		}
+		names = names[:0]
+		for name := range live.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := live.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-24s %.1f/s  %s / %s / %s  (n=%d)\n",
+				name, h.Rate, fmtDur(h.P50), fmtDur(h.P95), fmtDur(h.P99), h.Count)
+		}
+	}
 
 	serving := []string{"sessions.total", "requests.completed", "requests.evicted", "rounds.served", "rounds.errors"}
 	for _, name := range serving {

@@ -267,7 +267,12 @@ func AddCostToRegistryLabeled(reg *Registry, label string, st CostStats) {
 	}
 	for _, f := range costFields {
 		if v := f.Get(&st); v != 0 {
-			reg.Counter("cost." + label + "." + f.Name).Add(v)
+			name := "cost." + label + "." + f.Name
+			reg.Counter(name).Add(v)
+			// The windowed sibling makes per-backend op RATES readable
+			// live (/debug/live, ppstream_live_cost_* gauges) without
+			// diffing cumulative scrapes.
+			reg.LiveCounter(name).Add(v)
 		}
 	}
 }

@@ -24,6 +24,12 @@ import (
 type FlightRecord struct {
 	// When is the completion timestamp.
 	When time.Time `json:"when"`
+	// TraceID duplicates the trace's ID at the top level so flight
+	// entries join directly against the span store and server logs.
+	TraceID string `json:"trace_id"`
+	// Plan is the session's per-round backend assignment ("paillier-he",
+	// "ss-gc", "clear"), when known.
+	Plan []string `json:"plan,omitempty"`
 	// Trace is the request's merged cross-party trace (segments carry
 	// their cost annotations). Never nil.
 	Trace *TraceTree `json:"trace"`
@@ -122,10 +128,16 @@ func NewFlightRecorder(recentN, slowestK, errorsN int) *FlightRecorder {
 // show); err non-nil routes the record into the error ring as well. A
 // nil recorder is a no-op so unconfigured paths need no guard.
 func (f *FlightRecorder) Record(tree *TraceTree, err error) {
+	f.RecordPlan(tree, nil, err)
+}
+
+// RecordPlan is Record with the session's per-round backend plan
+// attached, so the dump shows which backend mix produced each trace.
+func (f *FlightRecorder) RecordPlan(tree *TraceTree, plan []string, err error) {
 	if f == nil || tree == nil {
 		return
 	}
-	rec := FlightRecord{When: time.Now(), Trace: tree}
+	rec := FlightRecord{When: time.Now(), TraceID: tree.ID, Plan: plan, Trace: tree}
 	if err != nil {
 		rec.Err = err.Error()
 	}

@@ -142,6 +142,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 }
 
 func (h *Histogram) quantile(counts []uint64, total uint64, min, max int64, q float64) time.Duration {
+	return quantileFromCounts(h.bounds, counts, total, min, max, q)
+}
+
+// quantileFromCounts estimates the q-th quantile from per-bucket counts
+// over ascending upper bounds (the last count is the overflow bucket).
+// Shared by Histogram and WindowedHistogram.
+func quantileFromCounts(bounds []int64, counts []uint64, total uint64, min, max int64, q float64) time.Duration {
 	if total == 0 || math.IsNaN(q) {
 		return 0
 	}
@@ -161,11 +168,11 @@ func (h *Histogram) quantile(counts []uint64, total uint64, min, max int64, q fl
 		}
 		lo := int64(0)
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
 		hi := max
-		if i < len(h.bounds) && h.bounds[i] < max {
-			hi = h.bounds[i]
+		if i < len(bounds) && bounds[i] < max {
+			hi = bounds[i]
 		}
 		if lo < min {
 			lo = min

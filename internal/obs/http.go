@@ -7,7 +7,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // HTTPOptions configures the exposition endpoint beyond the registries.
@@ -19,6 +21,14 @@ type HTTPOptions struct {
 	// Flight, when non-nil, mounts /debug/flight serving the recorder's
 	// JSON dump (recent, slowest, and errored traces with cost profiles).
 	Flight *FlightRecorder
+	// Traces, when non-nil, mounts /debug/traces serving the tail-sampled
+	// span store. Query parameters: since (RFC3339 instant or a trailing
+	// duration like "5m"), min_ms (minimum request duration in
+	// milliseconds), id (exact trace ID), limit.
+	Traces *TraceStore
+	// SLO, when non-nil, mounts /debug/slo serving every objective's
+	// multi-window burn-rate evaluation.
+	SLO *SLOEngine
 }
 
 // Handler serves the registries' snapshots at /metrics (and /) — JSON
@@ -104,6 +114,47 @@ func HandlerOpts(opts HTTPOptions, regs ...*Registry) http.Handler {
 		}
 		metrics(w, req)
 	})
+	mux.HandleFunc("/debug/live", func(w http.ResponseWriter, _ *http.Request) {
+		snaps := make([]LiveSnapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.LiveSnapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		var err error
+		if len(snaps) == 1 {
+			err = enc.Encode(snaps[0])
+		} else {
+			err = enc.Encode(snaps)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if opts.Traces != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+			q, err := parseTraceQuery(req)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := opts.Traces.WriteJSON(w, q); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if opts.SLO != nil {
+		mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(opts.SLO.Evaluate()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	if opts.Flight != nil {
 		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -120,6 +171,40 @@ func HandlerOpts(opts HTTPOptions, regs ...*Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// parseTraceQuery reads /debug/traces query parameters: since accepts
+// an RFC3339 instant or a trailing duration ("5m" = the last five
+// minutes); min_ms is a float of milliseconds; id matches one trace;
+// limit caps the result count.
+func parseTraceQuery(req *http.Request) (TraceQuery, error) {
+	var q TraceQuery
+	vals := req.URL.Query()
+	if s := vals.Get("since"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			q.Since = time.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, s); err == nil {
+			q.Since = t
+		} else {
+			return q, fmt.Errorf("since=%q is neither a duration nor RFC3339", s)
+		}
+	}
+	if s := vals.Get("min_ms"); s != "" {
+		ms, err := strconv.ParseFloat(s, 64)
+		if err != nil || ms < 0 {
+			return q, fmt.Errorf("min_ms=%q is not a non-negative number", s)
+		}
+		q.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	q.ID = vals.Get("id")
+	if s := vals.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("limit=%q is not a positive integer", s)
+		}
+		q.Limit = n
+	}
+	return q, nil
 }
 
 // Serve starts the exposition endpoint on addr (":0" picks a free port)

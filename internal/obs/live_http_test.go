@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusLiveMetrics: windowed metrics ride the exposition
+// as gauges (the strict 0.0.4 type set has no windowed family) and the
+// whole output still passes the conformance scanner.
+func TestWritePrometheusLiveMetrics(t *testing.T) {
+	reg := NewRegistry("live")
+	reg.Counter("serve.requests.ok").Add(7) // cumulative sibling
+	reg.LiveCounter("serve.requests.ok").Add(7)
+	h := reg.LiveHistogram("serve.latency")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	scanExposition(t, out)
+	for _, want := range []string{
+		"# TYPE ppstream_live_serve_requests_ok gauge",
+		`ppstream_live_serve_requests_ok{registry="live"} 7`,
+		"# TYPE ppstream_live_serve_latency_count gauge",
+		`ppstream_live_serve_latency_count{registry="live"} 2`,
+		"# TYPE ppstream_live_serve_latency_p50_seconds gauge",
+		"# TYPE ppstream_live_serve_latency_p95_seconds gauge",
+		"# TYPE ppstream_live_serve_latency_p99_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusLiveMultiRegistry: shared live metric names across
+// registries must still group under single TYPE lines.
+func TestWritePrometheusLiveMultiRegistry(t *testing.T) {
+	a := NewRegistry("a")
+	b := NewRegistry("b")
+	for _, reg := range []*Registry{a, b} {
+		reg.LiveCounter("serve.requests.ok").Inc()
+		reg.LiveHistogram("serve.latency").Observe(time.Millisecond)
+	}
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	scanExposition(t, out)
+	if got := strings.Count(out, "# TYPE ppstream_live_serve_requests_ok gauge\n"); got != 1 {
+		t.Errorf("%d TYPE lines for the live counter, want 1:\n%s", got, out)
+	}
+}
+
+// TestHandlerLiveEndpoints drives /debug/live, /debug/slo, and
+// /debug/traces through the HTTP mux, including query-parameter
+// validation.
+func TestHandlerLiveEndpoints(t *testing.T) {
+	reg := NewRegistry("srv")
+	reg.LiveCounter("serve.requests.ok").Add(3)
+	reg.LiveHistogram("serve.latency").Observe(4 * time.Millisecond)
+
+	slo, err := NewSLOEngine(SLOConfig{Specs: []SLOSpec{{Name: "avail", Objective: 0.999}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo.Observe(time.Millisecond, false)
+	slo.Observe(0, true)
+
+	traces, err := NewTraceStore(TraceStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces.Record(testTree("t-slow", 80*time.Millisecond), nil)
+	traces.Record(testTree("t-err", time.Millisecond), errors.New("boom"))
+
+	srv := httptest.NewServer(HandlerOpts(HTTPOptions{Traces: traces, SLO: slo}, reg))
+	defer srv.Close()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, data
+	}
+
+	code, body := get("/debug/live")
+	if code != 200 {
+		t.Fatalf("/debug/live status %d", code)
+	}
+	var live LiveSnapshot
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatalf("/debug/live payload: %v", err)
+	}
+	if live.Counters["serve.requests.ok"].Count != 3 || live.Histograms["serve.latency"].Count != 1 {
+		t.Errorf("/debug/live snapshot %+v", live)
+	}
+
+	code, body = get("/debug/slo")
+	if code != 200 {
+		t.Fatalf("/debug/slo status %d", code)
+	}
+	var statuses []SLOStatus
+	if err := json.Unmarshal(body, &statuses); err != nil {
+		t.Fatalf("/debug/slo payload: %v", err)
+	}
+	if len(statuses) != 1 || statuses[0].Name != "avail" || statuses[0].Windows[0].Bad != 1 {
+		t.Errorf("/debug/slo %+v", statuses)
+	}
+
+	code, body = get("/debug/traces?min_ms=50")
+	if code != 200 {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+	var recs []TraceRecord
+	if err := json.Unmarshal(body, &recs); err != nil {
+		t.Fatalf("/debug/traces payload: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Trace.ID != "t-slow" {
+		t.Errorf("/debug/traces min_ms %+v", recs)
+	}
+
+	if code, _ := get("/debug/traces?id=t-err&since=10m"); code != 200 {
+		t.Errorf("since=10m status %d", code)
+	}
+	for _, bad := range []string{"since=yesterday", "min_ms=-1", "limit=0", "limit=x"} {
+		if code, _ := get("/debug/traces?" + bad); code != 400 {
+			t.Errorf("%s status %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestFlightRecordPlan: flight records carry the trace ID and backend
+// plan so /debug/flight joins against the span store and the solver's
+// assignment.
+func TestFlightRecordPlan(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 4)
+	f.RecordPlan(testTree("fp-1", 10*time.Millisecond), []string{"paillier-he", "ss-gc"}, nil)
+	f.Record(testTree("fp-2", 20*time.Millisecond), errors.New("late"))
+	dump := f.Dump()
+	if len(dump.Recent) != 2 {
+		t.Fatalf("recent %d", len(dump.Recent))
+	}
+	if dump.Recent[0].TraceID != "fp-1" || len(dump.Recent[0].Plan) != 2 || dump.Recent[0].Plan[0] != "paillier-he" {
+		t.Errorf("planned record %+v", dump.Recent[0])
+	}
+	if dump.Recent[1].TraceID != "fp-2" || dump.Recent[1].Plan != nil || dump.Recent[1].Err != "late" {
+		t.Errorf("plain record %+v", dump.Recent[1])
+	}
+	var buf strings.Builder
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"trace_id": "fp-1"`) || !strings.Contains(buf.String(), `"plan"`) {
+		t.Errorf("flight JSON missing join fields:\n%s", buf.String())
+	}
+}

@@ -152,6 +152,46 @@ func (r *Registry) collectPrometheus(add func(name, typ string, lines ...string)
 			return err
 		}
 	}
+
+	// Windowed views export as gauges: the count over the trailing window
+	// and, for histograms, interpolated quantiles in seconds. Gauges (not
+	// summaries) keep the exposition inside the strict 0.0.4 type set;
+	// the "live" prefix separates them from the cumulative families.
+	names = names[:0]
+	for name := range r.liveCounters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := "ppstream_live_" + promName(name)
+		if err := add(m, "gauge", fmt.Sprintf("%s%s %d\n", m, label, r.liveCounters[name].Value())); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.liveHists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := r.liveHists[name].Snapshot()
+		base := "ppstream_live_" + promName(name)
+		series := []struct {
+			metric string
+			line   string
+		}{
+			{base + "_count", fmt.Sprintf("%s%s %d\n", base+"_count", label, snap.Count)},
+			{base + "_p50_seconds", fmt.Sprintf("%s%s %g\n", base+"_p50_seconds", label, snap.P50.Seconds())},
+			{base + "_p95_seconds", fmt.Sprintf("%s%s %g\n", base+"_p95_seconds", label, snap.P95.Seconds())},
+			{base + "_p99_seconds", fmt.Sprintf("%s%s %g\n", base+"_p99_seconds", label, snap.P99.Seconds())},
+		}
+		for _, s := range series {
+			if err := add(s.metric, "gauge", s.line); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

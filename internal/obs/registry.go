@@ -42,17 +42,24 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
+
+	// Live (windowed) views: same names as their cumulative siblings,
+	// separate namespace in snapshots and expositions.
+	liveCounters map[string]*WindowedCounter
+	liveHists    map[string]*WindowedHistogram
 }
 
 // NewRegistry creates an empty registry with the given name (shown in
 // snapshots so multiple registries can be told apart).
 func NewRegistry(name string) *Registry {
 	return &Registry{
-		name:       name,
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		gaugeFuncs: map[string]func() int64{},
-		hists:      map[string]*Histogram{},
+		name:         name,
+		counters:     map[string]*Counter{},
+		gauges:       map[string]*Gauge{},
+		gaugeFuncs:   map[string]func() int64{},
+		hists:        map[string]*Histogram{},
+		liveCounters: map[string]*WindowedCounter{},
+		liveHists:    map[string]*WindowedHistogram{},
 	}
 }
 
@@ -120,6 +127,44 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// LiveCounter returns the named windowed counter (default live-window
+// geometry: one-second buckets spanning the last minute), creating it on
+// first use. Live metrics reuse the names of their cumulative siblings —
+// they live in a separate namespace in snapshots and expositions.
+func (r *Registry) LiveCounter(name string) *WindowedCounter {
+	r.mu.RLock()
+	c := r.liveCounters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.liveCounters[name]; c == nil {
+		c = NewWindowedCounter(DefaultLiveBucket, DefaultLiveBuckets)
+		r.liveCounters[name] = c
+	}
+	return c
+}
+
+// LiveHistogram returns the named windowed latency histogram (default
+// live-window geometry), creating it on first use.
+func (r *Registry) LiveHistogram(name string) *WindowedHistogram {
+	r.mu.RLock()
+	h := r.liveHists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.liveHists[name]; h == nil {
+		h = NewWindowedHistogram(DefaultLiveBucket, DefaultLiveBuckets)
+		r.liveHists[name] = h
+	}
+	return h
+}
+
 // Snapshot is a JSON-marshalable point-in-time view of a registry.
 type Snapshot struct {
 	Name       string                       `json:"name"`
@@ -127,6 +172,10 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	// Windowed views (last-minute rates/quantiles), when registered.
+	LiveCounters   map[string]WindowedCounterSnapshot   `json:"live_counters,omitempty"`
+	LiveHistograms map[string]WindowedHistogramSnapshot `json:"live_histograms,omitempty"`
 }
 
 // Snapshot captures all metrics. Gauge callbacks are evaluated while the
@@ -152,6 +201,46 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = fn()
 	}
 	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.liveCounters) > 0 {
+		s.LiveCounters = make(map[string]WindowedCounterSnapshot, len(r.liveCounters))
+		for name, c := range r.liveCounters {
+			s.LiveCounters[name] = c.Snapshot()
+		}
+	}
+	if len(r.liveHists) > 0 {
+		s.LiveHistograms = make(map[string]WindowedHistogramSnapshot, len(r.liveHists))
+		for name, h := range r.liveHists {
+			s.LiveHistograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// LiveSnapshot is the /debug/live payload: only the windowed views, so
+// pollers (ppbench top) get current rates without the cumulative bulk.
+type LiveSnapshot struct {
+	Name       string                               `json:"name"`
+	TakenAt    time.Time                            `json:"taken_at"`
+	Counters   map[string]WindowedCounterSnapshot   `json:"counters"`
+	Histograms map[string]WindowedHistogramSnapshot `json:"histograms"`
+}
+
+// LiveSnapshot captures only the windowed metrics.
+func (r *Registry) LiveSnapshot() LiveSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := LiveSnapshot{
+		Name:       r.name,
+		TakenAt:    time.Now().UTC(),
+		Counters:   make(map[string]WindowedCounterSnapshot, len(r.liveCounters)),
+		Histograms: make(map[string]WindowedHistogramSnapshot, len(r.liveHists)),
+	}
+	for name, c := range r.liveCounters {
+		s.Counters[name] = c.Snapshot()
+	}
+	for name, h := range r.liveHists {
 		s.Histograms[name] = h.Snapshot()
 	}
 	return s

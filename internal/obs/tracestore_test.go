@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTree(id string, total time.Duration) *TraceTree {
+	return &TraceTree{
+		ID:    id,
+		Total: total,
+		Segments: []Segment{
+			{Party: "client", Name: "encrypt", Round: -1, Dur: total / 2},
+			{Party: "server", Name: "kernel", Round: 0, Dur: total / 2},
+		},
+	}
+}
+
+// TestTraceStoreRetentionReasons: errors always kept, the slowest K of
+// a window kept, everything else dropped when sampling is off.
+func TestTraceStoreRetentionReasons(t *testing.T) {
+	reg := NewRegistry("ts")
+	ts, err := NewTraceStore(TraceStoreConfig{SlowestK: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	ts.SetClock(func() time.Time { return now })
+
+	if reason, kept := ts.Record(testTree("err1", time.Millisecond), errors.New("boom")); !kept || reason != TraceKeptError {
+		t.Fatalf("errored request: %q %v", reason, kept)
+	}
+	// First two completions seed the slowest-K window.
+	for i, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond} {
+		if reason, kept := ts.Record(testTree(fmt.Sprintf("slow%d", i), d), nil); !kept || reason != TraceKeptSlow {
+			t.Fatalf("seed %d: %q %v", i, reason, kept)
+		}
+	}
+	// Faster than both retained durations, sampling off: dropped.
+	if _, kept := ts.Record(testTree("fast", time.Millisecond), nil); kept {
+		t.Fatal("unremarkable request retained")
+	}
+	// Slower than the window's fastest retained: replaces it.
+	if reason, kept := ts.Record(testTree("slower", 30*time.Millisecond), nil); !kept || reason != TraceKeptSlow {
+		t.Fatalf("slow replacement: %q %v", reason, kept)
+	}
+	// The window resets with the clock: a modest request is slowest-K
+	// again in the fresh window.
+	now = now.Add(2 * time.Minute)
+	if reason, kept := ts.Record(testTree("fresh", 2*time.Millisecond), nil); !kept || reason != TraceKeptSlow {
+		t.Fatalf("fresh window: %q %v", reason, kept)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["tracestore.kept.error"] != 1 ||
+		snap.Counters["tracestore.kept.slow"] != 4 ||
+		snap.Counters["tracestore.dropped"] != 1 {
+		t.Errorf("retention counters %+v", snap.Counters)
+	}
+
+	// The error record answers an ID query.
+	recs, err := ts.Query(TraceQuery{ID: "err1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Err != "boom" || recs[0].Reason != TraceKeptError {
+		t.Errorf("ID query %+v", recs)
+	}
+	// MinDur filters the fast seeds out.
+	recs, err = ts.Query(TraceQuery{MinDur: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Trace.ID != "slower" {
+		t.Errorf("MinDur query %+v", recs)
+	}
+}
+
+// TestTraceSampledDeterministic: the hash-of-ID decision is stable (both
+// parties agree), respects the edges, and lands near the target rate.
+func TestTraceSampledDeterministic(t *testing.T) {
+	if TraceSampled("abc", 0) || TraceSampled("", 0.5) {
+		t.Error("prob 0 / empty ID must never sample")
+	}
+	if !TraceSampled("abc", 1) {
+		t.Error("prob 1 must always sample")
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		a, b := TraceSampled(id, 0.2), TraceSampled(id, 0.2)
+		if a != b {
+			t.Fatalf("non-deterministic verdict for %s", id)
+		}
+		if a {
+			hits++
+		}
+	}
+	if hits < 120 || hits > 290 {
+		t.Errorf("sampled %d of 1000 at prob 0.2", hits)
+	}
+}
+
+// TestTraceStoreRotationAndPrune: the span log rotates on size and old
+// files are pruned, while Query stays authoritative across files.
+func TestTraceStoreRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := NewTraceStore(TraceStoreConfig{
+		Dir:          dir,
+		MaxFileBytes: 2048,
+		MaxFiles:     2,
+		SampleProb:   1, // keep everything: rotation is the subject
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 64
+	for i := 0; i < total; i++ {
+		if _, kept := ts.Record(testTree(fmt.Sprintf("rot-%03d", i), time.Millisecond), nil); !kept {
+			t.Fatalf("record %d dropped", i)
+		}
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".jsonl") {
+			logs = append(logs, e.Name())
+			if fi, err := e.Info(); err == nil && fi.Size() > 2048+1024 {
+				t.Errorf("log %s overgrew rotation bound: %d bytes", e.Name(), fi.Size())
+			}
+		}
+	}
+	if len(logs) == 0 || len(logs) > 2 {
+		t.Fatalf("want 1..2 rotated logs, got %v", logs)
+	}
+
+	// Disk is authoritative: the oldest records were pruned with their
+	// files, the newest survive.
+	recs, err := ts.Query(TraceQuery{Limit: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= total {
+		t.Fatalf("disk query returned %d of %d (want pruned subset)", len(recs), total)
+	}
+	if last := recs[len(recs)-1].Trace.ID; last != fmt.Sprintf("rot-%03d", total-1) {
+		t.Errorf("newest record %s lost", last)
+	}
+
+	// Reopening resumes after the highest sequence instead of clobbering.
+	ts2, err := NewTraceStore(TraceStoreConfig{Dir: dir, MaxFileBytes: 2048, MaxFiles: 2, SampleProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, kept := ts2.Record(testTree("resumed", time.Millisecond), nil); !kept {
+		t.Fatal("post-resume record dropped")
+	}
+	if err := ts2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ts2.Query(TraceQuery{ID: "resumed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("resumed record not queryable: %+v", recs)
+	}
+}
+
+// TestTraceStoreTornLine: a torn final line (crash mid-write) is skipped
+// instead of failing the whole query.
+func TestTraceStoreTornLine(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := NewTraceStore(TraceStoreConfig{Dir: dir, SampleProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Record(testTree("whole", time.Millisecond), nil)
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, traceLogName(0)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"when":"2026-01-01T00:00:00Z","reason":"slow","trace":{"trace_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := ts.Query(TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Trace.ID != "whole" {
+		t.Errorf("torn-line query %+v", recs)
+	}
+}
+
+// TestTraceStoreMemRing: without a directory the memory ring is bounded
+// and newest-biased.
+func TestTraceStoreMemRing(t *testing.T) {
+	ts, err := NewTraceStore(TraceStoreConfig{MemRecords: 4, SampleProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ts.Record(testTree(fmt.Sprintf("m%d", i), time.Millisecond), nil)
+	}
+	recs, err := ts.Query(TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].Trace.ID != "m6" || recs[3].Trace.ID != "m9" {
+		t.Errorf("mem ring %+v", recs)
+	}
+}
+
+// TestTraceStoreNil: a nil store ignores everything.
+func TestTraceStoreNil(t *testing.T) {
+	var ts *TraceStore
+	if _, kept := ts.Record(testTree("x", time.Second), nil); kept {
+		t.Error("nil store retained")
+	}
+	if recs, err := ts.Query(TraceQuery{}); err != nil || recs != nil {
+		t.Error("nil store query")
+	}
+	if err := ts.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceStoreConcurrent hammers Record and Query together under
+// -race, with the span log on disk so rotation races are exercised too.
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts, err := NewTraceStore(TraceStoreConfig{
+		Dir:          t.TempDir(),
+		MaxFileBytes: 4096,
+		MaxFiles:     2,
+		SampleProb:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ts.Record(testTree(fmt.Sprintf("c%d-%d", w, i), time.Duration(i)*time.Millisecond), nil)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := ts.Query(TraceQuery{MinDur: time.Millisecond}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWindowedCounterExpiry: counts age out of the trailing window as
+// the clock moves, unlike a cumulative Counter.
+func TestWindowedCounterExpiry(t *testing.T) {
+	w := NewWindowedCounter(time.Second, 4)
+	now := time.Unix(1_700_000_000, 0)
+	w.SetClock(func() time.Time { return now })
+
+	w.Add(3)
+	now = now.Add(time.Second)
+	w.Add(2)
+	if got := w.Value(); got != 5 {
+		t.Errorf("full window value %d, want 5", got)
+	}
+	// One more second on: a trailing 1s query no longer overlaps the
+	// first bucket (buckets overlapping the window edge count fully, so
+	// we step clear of the boundary).
+	now = now.Add(time.Second)
+	if got := w.ValueOver(time.Second); got != 2 {
+		t.Errorf("1s value %d, want 2", got)
+	}
+	// Rate over the trailing 2s still overlaps both buckets: 5 / 2s.
+	if got := w.Rate(2 * time.Second); got != 2.5 {
+		t.Errorf("rate %v, want 2.5", got)
+	}
+	// Move past the full span: everything expires.
+	now = now.Add(5 * time.Second)
+	if got := w.Value(); got != 0 {
+		t.Errorf("value after expiry %d, want 0", got)
+	}
+	snap := w.Snapshot()
+	if snap.Window != 4*time.Second || snap.Count != 0 {
+		t.Errorf("snapshot after expiry %+v", snap)
+	}
+}
+
+// TestWindowedCounterRotationReuse: a ring slot revisited in a later
+// epoch must start from zero, not resurrect the old epoch's count.
+func TestWindowedCounterRotationReuse(t *testing.T) {
+	w := NewWindowedCounter(time.Second, 2)
+	now := time.Unix(1_700_000_000, 0)
+	w.SetClock(func() time.Time { return now })
+	w.Add(100)
+	// Two seconds later the same slot covers a new epoch; its first use
+	// must rotate the stale 100 away before counting.
+	now = now.Add(2 * time.Second)
+	w.Inc()
+	if got := w.Value(); got != 1 {
+		t.Errorf("value after slot reuse %d, want 1", got)
+	}
+}
+
+// TestWindowedHistogramQuantiles: quantiles reflect only the in-window
+// observations, and expire with the clock.
+func TestWindowedHistogramQuantiles(t *testing.T) {
+	h := NewWindowedHistogram(time.Second, 10)
+	now := time.Unix(1_700_000_000, 0)
+	h.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 95; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(200 * time.Millisecond)
+	}
+	if got := h.CountOver(0); got != 100 {
+		t.Errorf("count %d, want 100", got)
+	}
+	// p50 lands in the 1ms region, p99 in the 200ms region. The ×2
+	// exponential bounds make estimates coarse: accept up to one bucket
+	// of overestimation.
+	if p50 := h.QuantileOver(0, 0.50); p50 <= 0 || p50 > 3*time.Millisecond {
+		t.Errorf("p50 %v outside (0, 3ms]", p50)
+	}
+	if p99 := h.QuantileOver(0, 0.99); p99 < 100*time.Millisecond || p99 > 500*time.Millisecond {
+		t.Errorf("p99 %v outside [100ms, 500ms]", p99)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.Mean <= 0 || snap.Rate != 10 {
+		t.Errorf("snapshot %+v", snap)
+	}
+
+	// Slow evidence ages out: after 2s only fresh fast observations
+	// remain in a 1s query.
+	now = now.Add(2 * time.Second)
+	h.Observe(time.Millisecond)
+	if p99 := h.QuantileOver(time.Second, 0.99); p99 > 3*time.Millisecond {
+		t.Errorf("p99 after expiry %v, want fast", p99)
+	}
+	// Full-window p99 still sees the 200ms tail (window is 10s).
+	if p99 := h.QuantileOver(0, 0.99); p99 < 100*time.Millisecond {
+		t.Errorf("full-window p99 %v lost the tail", p99)
+	}
+}
+
+// TestWindowedEmpty: zero-observation metrics answer zero everywhere.
+func TestWindowedEmpty(t *testing.T) {
+	h := NewWindowedHistogram(0, 0)
+	if h.Window() != DefaultLiveBucket*DefaultLiveBuckets {
+		t.Errorf("default window %v", h.Window())
+	}
+	if h.QuantileOver(0, 0.95) != 0 || h.CountOver(0) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	c := NewWindowedCounter(0, 0)
+	if c.Value() != 0 || c.Rate(0) != 0 {
+		t.Error("empty counter not zero")
+	}
+}
+
+// TestWindowedConcurrent hammers writers and readers together; run
+// under -race this is the lock-free hot path's correctness check.
+func TestWindowedConcurrent(t *testing.T) {
+	c := NewWindowedCounter(time.Millisecond, 8)
+	h := NewWindowedHistogram(time.Millisecond, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Value()
+					h.Snapshot()
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegistryLiveViews: get-or-create semantics and the snapshot's
+// live sections.
+func TestRegistryLiveViews(t *testing.T) {
+	reg := NewRegistry("live")
+	if reg.LiveCounter("a") != reg.LiveCounter("a") {
+		t.Error("LiveCounter not idempotent")
+	}
+	if reg.LiveHistogram("b") != reg.LiveHistogram("b") {
+		t.Error("LiveHistogram not idempotent")
+	}
+	reg.LiveCounter("a").Add(4)
+	reg.LiveHistogram("b").Observe(2 * time.Millisecond)
+	snap := reg.Snapshot()
+	if snap.LiveCounters["a"].Count != 4 {
+		t.Errorf("snapshot live counter %+v", snap.LiveCounters["a"])
+	}
+	if snap.LiveHistograms["b"].Count != 1 {
+		t.Errorf("snapshot live histogram %+v", snap.LiveHistograms["b"])
+	}
+	live := reg.LiveSnapshot()
+	if live.Name != "live" || live.Counters["a"].Count != 4 || live.Histograms["b"].Count != 1 {
+		t.Errorf("live snapshot %+v", live)
+	}
+	// Registries without live metrics omit the sections entirely.
+	empty := NewRegistry("none").Snapshot()
+	if empty.LiveCounters != nil || empty.LiveHistograms != nil {
+		t.Errorf("empty registry grew live sections: %+v", empty)
+	}
+}

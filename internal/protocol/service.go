@@ -131,6 +131,16 @@ type SessionConfig struct {
 	// server-side trace (with cost profiles) into the flight recorder's
 	// bounded rings for /debug/flight and SIGQUIT dumps.
 	Flight *obs.FlightRecorder
+	// Traces, when non-nil, offers every completed or failed request's
+	// server-side trace to the tail-sampling span store (errors always
+	// kept, slowest-K per window, deterministic trace-ID sample of the
+	// rest) for /debug/traces.
+	Traces *obs.TraceStore
+	// SLO, when non-nil, receives one Observe per finished request — the
+	// server-observed request latency (first-round arrival to last-round
+	// completion) and whether it failed — feeding the burn-rate engine.
+	// Share one engine across sessions so objectives are server-global.
+	SLO *obs.SLOEngine
 	// Profile is the server's deployment-profile policy. The session runs
 	// under the stricter of this and the client's requested profile, so
 	// the default (empty = privacy-max) preserves the paper's original
@@ -176,6 +186,10 @@ func ServeSessionObserved(ctx context.Context, in, out stream.Edge, net *nn.Netw
 type reqState struct {
 	lastRound int
 	lastSeen  time.Time
+	// started is the request's first-round arrival; the span between it
+	// and last-round completion is the server-observed request latency
+	// fed to the windowed serve.latency view and the SLO engine.
+	started time.Time
 	// deadline is the absolute point the client's propagated budget runs
 	// out, refreshed from each frame's DeadlineMS; zero means none.
 	deadline time.Time
@@ -211,8 +225,9 @@ const (
 // admit is the session's single admission point: it creates state for a
 // new request's round-0 frame (consulting the shedder first), refreshes
 // bookkeeping for known requests, and rejects stale mid-protocol frames.
-// deadline, when non-zero, replaces the request's eviction deadline.
-func (s *sessionReqs) admit(req uint64, round int, deadline time.Time) (admitResult, error) {
+// arrived stamps a new request's start; deadline, when non-zero,
+// replaces the request's eviction deadline.
+func (s *sessionReqs) admit(req uint64, round int, arrived time.Time, deadline time.Time) (admitResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.live[req]
@@ -223,7 +238,7 @@ func (s *sessionReqs) admit(req uint64, round int, deadline time.Time) (admitRes
 		if err := s.shed.Acquire(); err != nil {
 			return admitShed, err
 		}
-		st = &reqState{shedHeld: s.shed != nil}
+		st = &reqState{shedHeld: s.shed != nil, started: arrived}
 		s.live[req] = st
 	}
 	st.lastRound = round
@@ -245,14 +260,15 @@ func (s *sessionReqs) addSpans(req uint64, segs ...obs.Segment) {
 	s.mu.Unlock()
 }
 
-// takeSpans returns the request's accumulated spans.
-func (s *sessionReqs) takeSpans(req uint64) []obs.Segment {
+// takeSpans returns the request's accumulated spans and its first-round
+// arrival time (zero when the request is unknown).
+func (s *sessionReqs) takeSpans(req uint64) ([]obs.Segment, time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st := s.live[req]; st != nil {
-		return st.spans
+		return st.spans, st.started
 	}
-	return nil
+	return nil, time.Time{}
 }
 
 func (s *sessionReqs) drop(req uint64) {
@@ -334,6 +350,8 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 	}
 	var roundsServed, roundErrs *obs.Counter
 	var roundTime, kernelTime, permuteTime *obs.Histogram
+	var liveLatency *obs.WindowedHistogram
+	var liveOK, liveErr, liveShed *obs.WindowedCounter
 	if reg != nil {
 		reg.Counter("sessions.total").Inc()
 		active := reg.Gauge("sessions.active")
@@ -344,6 +362,12 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		roundTime = reg.Histogram("round.linear")
 		kernelTime = reg.Histogram("round.kernel")
 		permuteTime = reg.Histogram("round.permute")
+		// Windowed views of the serving outcome: what the server is doing
+		// NOW, for /debug/live, ppbench top, and the SLO engine's peers.
+		liveLatency = reg.LiveHistogram("serve.latency")
+		liveOK = reg.LiveCounter("serve.requests.ok")
+		liveErr = reg.LiveCounter("serve.requests.err")
+		liveShed = reg.LiveCounter("serve.requests.shed")
 	}
 	first, err := in.Recv(ctx)
 	if err != nil {
@@ -408,6 +432,13 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		return err
 	}
 	planCodes := plan.Codes()
+	// The plan as backend-kind strings, attached to flight records so
+	// /debug/flight entries join against the span store and show which
+	// backend mix produced each trace.
+	planStrs := make([]string, len(plan.Assignment))
+	for i, k := range plan.Assignment {
+		planStrs[i] = string(k)
+	}
 	paillierRounds := 0
 	for _, k := range plan.Assignment {
 		if k == backend.PaillierHE {
@@ -552,7 +583,7 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		if frame.DeadlineMS > 0 {
 			deadline = arrived.Add(time.Duration(frame.DeadlineMS) * time.Millisecond)
 		}
-		switch verdict, admitErr := reqs.admit(env.Req, frame.Round, deadline); verdict {
+		switch verdict, admitErr := reqs.admit(env.Req, frame.Round, arrived, deadline); verdict {
 		case admitStale:
 			// The janitor evicted this request's state (idle or deadline)
 			// while the client was still driving rounds: its permutation
@@ -564,6 +595,14 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			reject(fmt.Errorf("%w: no state for request %d round %d", ErrEvicted, env.Req, frame.Round))
 			return
 		case admitShed:
+			if liveShed != nil {
+				liveShed.Inc()
+			}
+			// A shed request is availability-bad; its empty server tree is
+			// still offered to the span store (always-keep on error) so the
+			// rejection is joinable by trace ID.
+			cfg.SLO.Observe(0, true)
+			cfg.Traces.Record(serverTree(traceID, env.Req, nil), admitErr)
 			reject(admitErr)
 			return
 		}
@@ -573,10 +612,20 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 			if reg != nil {
 				reg.Counter("requests.deadline_expired").Inc()
 			}
+			spans, started := reqs.takeSpans(env.Req)
+			if started.IsZero() {
+				started = arrived
+			}
+			deadlineErr := fmt.Errorf("%w: request %d budget of %dms spent before round %d started",
+				ErrDeadline, env.Req, frame.DeadlineMS, frame.Round)
+			if liveErr != nil {
+				liveErr.Inc()
+			}
+			cfg.SLO.Observe(time.Since(started), true)
+			cfg.Traces.Record(serverTree(traceID, env.Req, spans), deadlineErr)
 			reqs.drop(env.Req)
 			mp.Forget(env.Req)
-			reject(fmt.Errorf("%w: request %d budget of %dms spent before round %d started",
-				ErrDeadline, env.Req, frame.DeadlineMS, frame.Round))
+			reject(deadlineErr)
 			return
 		}
 		// One meter per round frame: round index == linear-stage index, so
@@ -604,9 +653,17 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 				roundErrs.Inc()
 			}
 			slog.Warn("round failed", "req", env.Req, "round", frame.Round, "err", err.Error())
-			if cfg.Flight != nil {
-				cfg.Flight.Record(serverTree(traceID, env.Req, reqs.takeSpans(env.Req)), err)
+			spans, started := reqs.takeSpans(env.Req)
+			if started.IsZero() {
+				started = arrived
 			}
+			tree := serverTree(traceID, env.Req, spans)
+			cfg.Flight.RecordPlan(tree, planStrs, err)
+			cfg.Traces.Record(tree, err)
+			if liveErr != nil {
+				liveErr.Inc()
+			}
+			cfg.SLO.Observe(time.Since(started), true)
 			// The request is dead on this side: release its permutation
 			// state now rather than waiting for the TTL.
 			reqs.drop(env.Req)
@@ -658,11 +715,22 @@ func ServeSessionConfig(ctx context.Context, in, out stream.Edge, net *nn.Networ
 		if frame.Round == lastRound {
 			// The request's last linear round: its obfuscation state is
 			// fully consumed; drop the entry instead of leaking it.
-			spans := reqs.takeSpans(env.Req)
-			reply.Spans = toWireSpans(spans)
-			if cfg.Flight != nil {
-				cfg.Flight.Record(serverTree(traceID, env.Req, spans), nil)
+			spans, started := reqs.takeSpans(env.Req)
+			if started.IsZero() {
+				started = arrived
 			}
+			reply.Spans = toWireSpans(spans)
+			tree := serverTree(traceID, env.Req, spans)
+			cfg.Flight.RecordPlan(tree, planStrs, nil)
+			cfg.Traces.Record(tree, nil)
+			// The server-observed request latency: first-round arrival to
+			// last-round completion, queueing included.
+			reqLatency := time.Since(started)
+			if liveLatency != nil {
+				liveLatency.Observe(reqLatency)
+				liveOK.Inc()
+			}
+			cfg.SLO.Observe(reqLatency, false)
 			reqs.drop(env.Req)
 			mp.Forget(env.Req)
 			if reg != nil {

@@ -2,7 +2,6 @@ package protocol
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,22 +15,20 @@ import (
 // server cannot finish in time.
 //
 // Overload is judged two ways: a hard in-flight bound (requests admitted
-// but not yet released) and a latency target compared against a windowed
-// p95 of recent request latencies. The window is kept inside the Shedder
-// because obs.Histogram is cumulative over the process lifetime — a
-// morning's fast requests would mask an afternoon collapse.
+// but not yet released) and a latency target compared against the p95 of
+// latencies observed in a sliding time window (obs.WindowedHistogram).
+// The window matters because obs.Histogram is cumulative over the
+// process lifetime — a morning's fast requests would mask an afternoon
+// collapse; the time basis (rather than the old count-based ring) means
+// a burst of fast requests cannot instantly erase the evidence of an
+// overload either: the slow observations age out with the clock.
 type Shedder struct {
 	maxInFlight int64
 	target      time.Duration
+	window      time.Duration
 
 	inflight atomic.Int64
-
-	mu      sync.Mutex
-	ring    []int64 // recent latency observations, nanoseconds
-	next    int
-	filled  bool
-	unseen  int   // observations since the cached p95 was computed
-	p95     int64 // cached windowed p95, nanoseconds
+	win      *obs.WindowedHistogram
 
 	rejectedTotal    *obs.Counter
 	rejectedInflight *obs.Counter
@@ -47,26 +44,33 @@ type ShedConfig struct {
 	// LatencyTarget sheds new requests while the windowed p95 of recent
 	// request latencies exceeds it; <= 0 disables the latency check.
 	LatencyTarget time.Duration
+	// Window is the sliding window the p95 is computed over; <= 0 takes
+	// DefaultShedWindow.
+	Window time.Duration
 	// Registry, when non-nil, receives "shed.rejected.total",
 	// "shed.rejected.inflight", "shed.rejected.latency" counters and the
 	// "shed.inflight" gauge.
 	Registry *obs.Registry
 }
 
-// shedWindow is how many recent latency observations drive the p95.
-const shedWindow = 128
+// DefaultShedWindow is the latency-judgment window: long enough to hold
+// evidence of an overload, short enough that recovery clears it fast.
+const DefaultShedWindow = 10 * time.Second
 
-// shedRecompute is how many observations may accumulate before the
-// cached p95 is recomputed (amortizes the sort).
-const shedRecompute = 16
+// shedBuckets is the ring resolution of the latency window.
+const shedBuckets = 16
 
 // NewShedder builds an admission controller. Share one Shedder across
 // every session of a server so the in-flight bound is global.
 func NewShedder(cfg ShedConfig) *Shedder {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultShedWindow
+	}
 	s := &Shedder{
 		maxInFlight: cfg.MaxInFlight,
 		target:      cfg.LatencyTarget,
-		ring:        make([]int64, shedWindow),
+		window:      cfg.Window,
+		win:         obs.NewWindowedHistogram(cfg.Window/shedBuckets, shedBuckets),
 	}
 	if reg := cfg.Registry; reg != nil {
 		s.rejectedTotal = reg.Counter("shed.rejected.total")
@@ -76,6 +80,11 @@ func NewShedder(cfg ShedConfig) *Shedder {
 	}
 	return s
 }
+
+// SetClock replaces the latency window's time source — a test hook so
+// overload recovery is exercised without sleeping. Not for production
+// use.
+func (s *Shedder) SetClock(now func() time.Time) { s.win.SetClock(now) }
 
 // Acquire admits one request or rejects it with an ErrShed-wrapped
 // error. Every successful Acquire must be paired with exactly one
@@ -97,14 +106,14 @@ func (s *Shedder) Acquire() error {
 		s.inflight.Add(1)
 	}
 	if s.target > 0 {
-		if p95 := s.recentP95(); p95 > int64(s.target) {
+		if p95 := s.win.QuantileOver(s.window, 0.95); p95 > s.target {
 			s.inflight.Add(-1)
 			if s.rejectedTotal != nil {
 				s.rejectedTotal.Inc()
 				s.rejectedLatency.Inc()
 			}
 			return fmt.Errorf("%w: recent p95 latency %v exceeds target %v",
-				ErrShed, time.Duration(p95), s.target)
+				ErrShed, p95, s.target)
 		}
 	}
 	return nil
@@ -124,15 +133,7 @@ func (s *Shedder) Observe(d time.Duration) {
 	if s == nil || s.target <= 0 {
 		return
 	}
-	s.mu.Lock()
-	s.ring[s.next] = int64(d)
-	s.next++
-	if s.next == len(s.ring) {
-		s.next = 0
-		s.filled = true
-	}
-	s.unseen++
-	s.mu.Unlock()
+	s.win.Observe(d)
 }
 
 // InFlight reports the currently admitted request count.
@@ -141,33 +142,4 @@ func (s *Shedder) InFlight() int64 {
 		return 0
 	}
 	return s.inflight.Load()
-}
-
-// recentP95 returns the cached windowed p95, recomputing it when enough
-// new observations have accumulated. Zero until any were recorded.
-func (s *Shedder) recentP95() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := s.next
-	if s.filled {
-		n = len(s.ring)
-	}
-	if n == 0 {
-		return 0
-	}
-	if s.unseen >= shedRecompute || s.p95 == 0 {
-		s.unseen = 0
-		buf := make([]int64, n)
-		copy(buf, s.ring[:n])
-		// Insertion sort: n <= 128, and this runs once per shedRecompute
-		// observations, off any crypto path.
-		for i := 1; i < len(buf); i++ {
-			for j := i; j > 0 && buf[j-1] > buf[j]; j-- {
-				buf[j-1], buf[j] = buf[j], buf[j-1]
-			}
-		}
-		idx := (95 * (len(buf) - 1)) / 100
-		s.p95 = buf[idx]
-	}
-	return s.p95
 }

@@ -40,22 +40,42 @@ func TestShedderInFlightBound(t *testing.T) {
 }
 
 // TestShedderLatencyTarget: sustained slow latencies trip the windowed
-// p95 check; a window full of fast ones clears it again — the cumulative
-// histogram would never recover, the ring does.
+// p95 check; once the slow evidence ages out of the time window the
+// shedder admits again — the cumulative histogram would never recover,
+// the sliding window does. A burst of fast observations alone must NOT
+// clear an overload verdict while the slow ones are still in-window
+// (that was the count-ring's blind spot).
 func TestShedderLatencyTarget(t *testing.T) {
-	s := NewShedder(ShedConfig{LatencyTarget: 10 * time.Millisecond})
-	for i := 0; i < shedWindow; i++ {
+	s := NewShedder(ShedConfig{LatencyTarget: 10 * time.Millisecond, Window: time.Second})
+	now := time.Unix(1_700_000_000, 0)
+	s.SetClock(func() time.Time { return now })
+	for i := 0; i < 64; i++ {
 		s.Observe(100 * time.Millisecond)
 	}
 	err := s.Acquire()
 	if !errors.Is(err, ErrShed) {
 		t.Fatalf("overloaded shedder admitted: %v", err)
 	}
-	for i := 0; i < shedWindow; i++ {
+	// Fast traffic cannot whitewash the in-window overload evidence:
+	// even 10× as many fast observations leave the p95 over target.
+	for i := 0; i < 640; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if err := s.Acquire(); !errors.Is(err, ErrShed) {
+		t.Fatalf("fast burst cleared an in-window overload: %v", err)
+	}
+	// The clock moving past the window ages the evidence out.
+	now = now.Add(2 * time.Second)
+	if err := s.Acquire(); err != nil {
+		t.Fatalf("recovered shedder still rejecting: %v", err)
+	}
+	s.Release()
+	// Healthy traffic in the fresh window keeps admissions flowing.
+	for i := 0; i < 64; i++ {
 		s.Observe(time.Millisecond)
 	}
 	if err := s.Acquire(); err != nil {
-		t.Fatalf("recovered shedder still rejecting: %v", err)
+		t.Fatalf("healthy window rejecting: %v", err)
 	}
 	s.Release()
 }

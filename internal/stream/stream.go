@@ -149,9 +149,12 @@ type Stage struct {
 	out     Edge
 	metrics Metrics
 	// Optional obs instrumentation (set via Instrument before Start):
-	// latency histograms feeding p50/p95/p99 snapshots.
+	// latency histograms feeding p50/p95/p99 snapshots, plus a windowed
+	// busy-time view so /debug/live shows which stage is hot right now
+	// rather than averaged over the process lifetime.
 	waitHist *obs.Histogram
 	busyHist *obs.Histogram
+	liveBusy *obs.WindowedHistogram
 }
 
 // NewStage creates a stage. Both edges must be non-nil.
@@ -180,6 +183,7 @@ func (s *Stage) Instrument(reg *obs.Registry) {
 	}
 	s.waitHist = reg.Histogram("stage." + s.name + ".wait")
 	s.busyHist = reg.Histogram("stage." + s.name + ".busy")
+	s.liveBusy = reg.LiveHistogram("stage." + s.name + ".busy")
 }
 
 // run dispatches messages until the input edge closes or ctx is
@@ -229,6 +233,9 @@ func (s *Stage) run(ctx context.Context) error {
 			s.metrics.BusyNanos.Add(busy.Nanoseconds())
 			if s.busyHist != nil {
 				s.busyHist.Observe(busy)
+			}
+			if s.liveBusy != nil {
+				s.liveBusy.Observe(busy)
 			}
 			if perr != nil {
 				s.metrics.Errors.Add(1)
