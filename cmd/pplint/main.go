@@ -4,19 +4,26 @@
 //
 // Usage:
 //
-//	pplint [-update] [-rules rule1,rule2] [packages...]
+//	pplint [-update] [-rules rule1,rule2] [-json] [-listrules] [packages...]
 //
 // Packages default to ./... (the whole module). -update regenerates the
 // wire-schema lock (internal/protocol/wire.lock) from the current tree;
-// use it only for intentional, additive wire changes. A diagnostic is
-// suppressed by a same-line (or directly-above) comment:
+// use it only for intentional, additive wire changes. -json emits
+// diagnostics as a JSON array on stdout for machine consumers (exit
+// status is unchanged: 1 when diagnostics fire, 2 on analysis errors).
+// -listrules prints the registered analyzer names and one-line docs and
+// exits; CI pins this listing against a golden file so adding or
+// removing a rule is a reviewed change. A diagnostic is suppressed by a
+// same-line (or directly-above) comment:
 //
 //	//pplint:ignore rule reason
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,21 +34,44 @@ import (
 func main() {
 	update := flag.Bool("update", false, "regenerate the wire schema lock instead of diffing against it")
 	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	listRules := flag.Bool("listrules", false, "print registered analyzer names and docs, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pplint [-update] [-rules list] [packages...]\n\nAnalyzers:\n")
-		for _, a := range analysis.Analyzers(analysis.WirecompatConfig{}) {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Fprintf(os.Stderr, "usage: pplint [-update] [-rules list] [-json] [-listrules] [packages...]\n\nAnalyzers:\n")
+		writeRuleList(os.Stderr)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(flag.Args(), *update, *rules); err != nil {
+	if *listRules {
+		writeRuleList(os.Stdout)
+		return
+	}
+	if err := run(flag.Args(), *update, *rules, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "pplint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, update bool, rules string) error {
+// writeRuleList prints one "name  doc" line per registered analyzer, in
+// registration order. cmd/pplint's golden test pins this output.
+func writeRuleList(w io.Writer) {
+	for _, a := range analysis.Analyzers(analysis.WirecompatConfig{}) {
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by
+// -json. Field names are part of the tool's interface; CI and editor
+// integrations parse them.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func run(patterns []string, update bool, rules string, asJSON bool) error {
 	root, err := moduleRoot()
 	if err != nil {
 		return err
@@ -89,12 +119,29 @@ func run(patterns []string, update bool, rules string) error {
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
+	for i := range diags {
 		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Rule: d.Rule, Message: d.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pplint: %d diagnostics\n", len(diags))

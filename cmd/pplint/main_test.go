@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/rules.golden from the current analyzer registry")
+
+// TestRuleListGolden pins the registered analyzer set: adding, renaming,
+// or dropping a rule must show up as a diff against testdata/rules.golden
+// and therefore be a reviewed change, not a silent registry edit.
+// Regenerate intentionally with: go test ./cmd/pplint -update-golden
+func TestRuleListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeRuleList(&buf)
+	golden := filepath.Join("testdata", "rules.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("analyzer registry drifted from testdata/rules.golden\n--- got ---\n%s--- want ---\n%s(regenerate with go test ./cmd/pplint -update-golden if intentional)", buf.Bytes(), want)
+	}
+}

@@ -7,6 +7,15 @@
 // provider, big.Int aliasing hygiene, additive-only wire-schema
 // evolution, and audited error handling on the crypto and wire layers.
 //
+// Since PR 10 the suite is built on a CFG-based dataflow core (cfg.go,
+// dataflow.go): a shared intraprocedural control-flow-graph builder with
+// generic forward/backward worklist solvers and an error-guard
+// path-sensitivity helper. On top of it ride the concurrency/lifecycle
+// analyzers — lockscope, pairedrelease, goroleak, atomicfield,
+// ctxdeadline — which machine-check the invariants behind every
+// historical serving-plane bug (the PR 3 permutation-state leak, the
+// PR 7 dispatcher hang and shed-slot eviction leak).
+//
 // Each analyzer is a self-contained pass producing position-accurate
 // diagnostics. A diagnostic on a line carrying (or directly below) a
 // "//pplint:ignore rule [reason]" comment is suppressed.
@@ -199,5 +208,10 @@ func Analyzers(wire WirecompatConfig) []*Analyzer {
 		NewWirecompatAnalyzer(wire),
 		ErrauditAnalyzer,
 		NewMetricnamesAnalyzer(),
+		LockscopeAnalyzer,
+		PairedreleaseAnalyzer,
+		GoroleakAnalyzer,
+		NewAtomicfieldAnalyzer(),
+		CtxdeadlineAnalyzer,
 	}
 }

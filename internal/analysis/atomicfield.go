@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewAtomicfieldAnalyzer returns the atomic-field hygiene check: a
+// struct field accessed through sync/atomic anywhere must be accessed
+// atomically everywhere. Mixing `atomic.AddInt64(&c.n, 1)` with a plain
+// `c.n` read is a data race the race detector only catches when the two
+// sites actually collide under test; the analyzer catches it from the
+// source alone. This is the invariant the obs windowed counters'
+// lock-free hot path depends on (their typed atomic.Int64 fields are
+// safe by construction — only address-taken sync/atomic calls create the
+// mixed-access hazard).
+//
+// The check is whole-module: uses are collected per package during Run
+// and judged in Finish, so an atomic use in one package convicts a plain
+// access in another. Composite-literal keys are not accesses (`&c{n: 0}`
+// initializes before the value is shared), and the &field operand of the
+// sync/atomic call itself is exempt.
+func NewAtomicfieldAnalyzer() *Analyzer {
+	s := &atomicfieldState{
+		atomicAt: map[*types.Var]token.Position{},
+		plain:    map[*types.Var][]token.Position{},
+	}
+	return &Analyzer{
+		Name:   "atomicfield",
+		Doc:    "a struct field accessed through sync/atomic anywhere must be accessed atomically everywhere",
+		Run:    s.run,
+		Finish: s.finish,
+	}
+}
+
+type atomicfieldState struct {
+	// atomicAt records, per field object, one position where it is
+	// accessed through sync/atomic.
+	atomicAt map[*types.Var]token.Position
+	// plain records every non-atomic access of any field; Finish
+	// intersects with atomicAt.
+	plain map[*types.Var][]token.Position
+}
+
+func (s *atomicfieldState) run(pass *Pass) error {
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+	for _, file := range pass.Pkg.Files {
+		// First pass: find &x.f operands of sync/atomic calls. They mark
+		// the field as atomic and are exempt from the plain-access scan.
+		exempt := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleePkgPath(info, call) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(info, sel); f != nil {
+					exempt[sel] = true
+					if _, seen := s.atomicAt[f]; !seen {
+						s.atomicAt[f] = fset.Position(sel.Pos())
+					}
+				}
+			}
+			return true
+		})
+		// Second pass: every other selector access of a field.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			if f := fieldOf(info, sel); f != nil {
+				s.plain[f] = append(s.plain[f], fset.Position(sel.Sel.Pos()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (s *atomicfieldState) finish(report func(Diagnostic)) error {
+	type finding struct {
+		pos      token.Position
+		field    *types.Var
+		atomicAt token.Position
+	}
+	var findings []finding
+	for f, atomicPos := range s.atomicAt {
+		for _, p := range s.plain[f] {
+			findings = append(findings, finding{pos: p, field: f, atomicAt: atomicPos})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, f := range findings {
+		report(Diagnostic{
+			Pos:  f.pos,
+			Rule: "atomicfield",
+			Msg: fmt.Sprintf("non-atomic access of field %s, which is accessed via sync/atomic at %s:%d: mixed access is a data race — use the atomic accessors everywhere (or a typed atomic.Int64-style field, which makes plain access impossible)",
+				fieldLabel(f.field), f.atomicAt.Filename, f.atomicAt.Line),
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to a struct-field object, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// fieldLabel renders "pkg.field" for diagnostics.
+func fieldLabel(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxdeadlineAnalyzer keeps deadline propagation honest on the request
+// path: a function that takes a context.Context must thread it into the
+// blocking work it performs. Concretely, inside any ctx-taking function
+// of the serving-plane packages it flags
+//
+//   - context.Background() / context.TODO() passed to a callee that
+//     accepts a context — that detaches the callee from the caller's
+//     deadline, so a wire DeadlineMS the client negotiated silently
+//     stops applying (derive with context.WithTimeout(ctx, ...) instead);
+//   - time.Sleep — an unconditional sleep outlives a canceled request;
+//     wait on a timer channel together with ctx.Done().
+//
+// Function literals are judged as their own functions: a closure that
+// declares its own ctx parameter is checked, one that merely captures
+// the outer ctx is not (its blocking calls execute under the enclosing
+// function's dynamic extent, where patterns like single-flight refresh
+// legitimately detach).
+var CtxdeadlineAnalyzer = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "ctx-taking functions on the request path must thread ctx into every blocking call that accepts one (no context.Background/TODO, no bare time.Sleep)",
+	Run:  runCtxdeadline,
+}
+
+func runCtxdeadline(pass *Pass) error {
+	if !concurrencyCriticalPackages[pkgBase(pass.Pkg.Path)] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, u := range funcUnits(file) {
+			if !funcTakesContext(pass, u) {
+				continue
+			}
+			ast.Inspect(u.body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // separate funcUnit
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					pass.Reportf(call.Pos(), "%s takes a context but calls time.Sleep, which cannot be canceled: the sleep outlives a canceled request and breaks DeadlineMS propagation — select on a timer and ctx.Done() instead", u.name())
+					return true
+				}
+				for _, arg := range call.Args {
+					ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					afn := calleeFunc(info, ac)
+					if afn == nil || afn.Pkg() == nil || afn.Pkg().Path() != "context" {
+						continue
+					}
+					if afn.Name() == "Background" || afn.Name() == "TODO" {
+						pass.Reportf(ac.Pos(), "%s takes a context but passes context.%s to %s: the callee detaches from the request deadline, so DeadlineMS stops propagating — pass the function's ctx (or derive from it with context.WithTimeout)", u.name(), afn.Name(), callLabel(call))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcTakesContext reports whether the unit declares a context.Context
+// parameter.
+func funcTakesContext(pass *Pass, u funcUnit) bool {
+	ft := u.funcType()
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(typeOf(pass.Pkg.Info, field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// callLabel names a call target for diagnostics.
+func callLabel(call *ast.CallExpr) string {
+	return exprString(call.Fun)
+}

@@ -155,6 +155,47 @@ func TestMetricnamesFixture(t *testing.T) {
 	checkFixture(t, fixturePkg(t, "metricnames", "fix/obs"), NewMetricnamesAnalyzer())
 }
 
+func TestLockscopeFixture(t *testing.T) {
+	// BadResolve reproduces the pendingEdge receive-under-mutex and
+	// BadClose/BadSubmit the pre-PR 7 dispatcher Submit/Close hang;
+	// select-with-default and post-unlock blocking stay silent.
+	checkFixture(t, fixturePkg(t, "lockscope", "fix/lockscope/stream"), LockscopeAnalyzer)
+}
+
+func TestLockscopeSkipsNonConcurrencyPackages(t *testing.T) {
+	pkg := fixturePkg(t, "lockscope", "fix/lockscope/benchutil")
+	diags, err := Run([]*Package{pkg}, []*Analyzer{LockscopeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("lockscope fired outside concurrency-critical packages: %v", diags)
+	}
+}
+
+func TestPairedreleaseFixture(t *testing.T) {
+	// LeakOnComplete reproduces the PR 3 permutation-state leak (Forget
+	// never reached on the completion path) and EvictWithoutRelease the
+	// PR 7 shed-slot-at-eviction bug; guarded error returns, deferred
+	// releases, and branch-alternative releases stay silent.
+	checkFixture(t, fixturePkg(t, "pairedrelease", "fix/pairedrelease/protocol"), PairedreleaseAnalyzer)
+}
+
+func TestGoroleakFixture(t *testing.T) {
+	// BadReader reproduces the pre-PR 7 dispatcher reader (exit only via
+	// results close ⇒ Submit/Close hang); done-select, ctx, range,
+	// comma-ok, WaitGroup, and one-shot goroutines stay silent.
+	checkFixture(t, fixturePkg(t, "goroleak", "fix/goroleak/stream"), GoroleakAnalyzer)
+}
+
+func TestAtomicfieldFixture(t *testing.T) {
+	checkFixture(t, fixturePkg(t, "atomicfield", "fix/atomicfield/obs"), NewAtomicfieldAnalyzer())
+}
+
+func TestCtxdeadlineFixture(t *testing.T) {
+	checkFixture(t, fixturePkg(t, "ctxdeadline", "fix/ctxdeadline/protocol"), CtxdeadlineAnalyzer)
+}
+
 func TestWirecompatFixture(t *testing.T) {
 	// The fixture lock declares Factor as int64 (source retyped it to
 	// int32), a removed field Hello.Gone, and a removed struct Dropped.

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoroleakAnalyzer requires every `go` statement in the long-lived
+// serving-plane packages to have a recognizable shutdown edge. A
+// goroutine looping on channel work with no exit path is how the
+// pre-PR 7 dispatcher hung: its reader exited only when the results
+// channel closed, so a failed pipeline left Submit blocked on the window
+// and Close blocked on Submit, forever. At production concurrency every
+// leaked goroutine also pins its request state for the process lifetime.
+//
+// A goroutine passes when its body (a function literal, or a
+// same-package function the `go` statement calls) satisfies any of:
+//
+//   - it contains no loop: straight-line goroutines terminate on their
+//     own (e.g. a one-shot bounded send or a delegated Close);
+//   - it selects on / receives from ctx.Done() or a done-like channel
+//     (done/stop/quit/exit/close/down/kill, or any chan struct{});
+//   - it registers with a sync.WaitGroup via Done (some Close/Shutdown
+//     waits on it);
+//   - it ranges over a channel, or uses a comma-ok receive (both
+//     terminate when the producer closes the channel);
+//   - inside its loop it calls something that takes a context, the
+//     conventional deadline-or-cancel exit (ctxdeadline keeps those
+//     callees honest);
+//   - the `go` call itself receives a context argument (the callee's
+//     ctx handling is checked where the callee is defined).
+//
+// Goroutines running functions defined outside the package (e.g.
+// http.Server.Serve) are not analyzable here and are trusted — their
+// shutdown contract lives with whoever owns the value.
+var GoroleakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in long-lived packages needs a shutdown edge (done/ctx select, WaitGroup, channel close, or bounded work)",
+	Run:  runGoroleak,
+}
+
+var doneChanName = regexp.MustCompile(`(?i)(done|stop|quit|exit|close|down|kill)`)
+
+func runGoroleak(pass *Pass) error {
+	if !concurrencyCriticalPackages[pkgBase(pass.Pkg.Path)] {
+		return nil
+	}
+	// Same-package function bodies, for `go pkgFunc(...)` / `go x.m(...)`
+	// where the method is declared in this package.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, decls, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	info := pass.Pkg.Info
+	// A context handed to the goroutine is its shutdown edge.
+	for _, arg := range gs.Call.Args {
+		if isContextType(typeOf(info, arg)) {
+			return
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := calleeFunc(info, gs.Call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Types.Path() {
+			return // external or indirect: not analyzable here
+		}
+		if fd := decls[fn]; fd != nil {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return
+	}
+	if !hasLoop(body) {
+		return // straight-line goroutine: terminates on its own
+	}
+	if hasShutdownEdge(info, body) {
+		return
+	}
+	pass.Reportf(gs.Pos(), "goroutine loops with no shutdown edge: no done/ctx select, WaitGroup registration, channel-close exit, or ctx-taking call in the loop — a failed peer strands it forever and Close hangs behind it (the pre-PR 7 dispatcher reader bug); add a select on a done channel or thread a context through")
+}
+
+// hasLoop reports whether the body contains any for/range loop, nested
+// function literals excluded.
+func hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasShutdownEdge scans the goroutine body (excluding nested function
+// literals) for any recognized exit mechanism.
+func hasShutdownEdge(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && isDoneChannel(info, nn.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(typeOf(info, nn.X)) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			// Comma-ok receive: `v, ok := <-ch` exits via channel close.
+			if len(nn.Lhs) == 2 && len(nn.Rhs) == 1 {
+				if ue, ok := ast.Unparen(nn.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, nn)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				found = true // WaitGroup registration
+				return false
+			}
+			for _, arg := range nn.Args {
+				if isContextType(typeOf(info, arg)) {
+					found = true // ctx threaded into loop work
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isDoneChannel recognizes shutdown channels: ctx.Done() (any
+// zero-argument Done() call), a done-like identifier/selector name, or
+// any chan struct{} (the conventional signal-only type).
+func isDoneChannel(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(call.Args) == 0 {
+			return true
+		}
+		return false
+	}
+	name := ""
+	switch ee := e.(type) {
+	case *ast.Ident:
+		name = ee.Name
+	case *ast.SelectorExpr:
+		name = ee.Sel.Name
+	}
+	if name != "" && doneChanName.MatchString(name) {
+		return true
+	}
+	if t := typeOf(info, e); t != nil {
+		if ch, ok := t.Underlying().(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

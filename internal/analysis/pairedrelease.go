@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PairedreleaseAnalyzer enforces the acquire/release pairing of the
+// serving plane's tracked resources: a shed slot (Shedder.Acquire →
+// Release), a pipeline sequence reservation (Pipeline.Reserve →
+// SubmitReserved/CancelReserve), and per-request tracked state
+// (Track → Forget, the obfuscation-state lifecycle). Both landmark
+// lifecycle bugs were exactly this pattern escaping review: PR 3's
+// permutation-state leak (per-request state registered but Forget never
+// reached on the completion path) and PR 7's shed-slot leak (the session
+// janitor evicted request state without releasing its shed slot,
+// permanently shrinking admission capacity).
+//
+// Implementation: a backward must-analysis over the shared CFG. The fact
+// at a program point is the set of resource keys (method name + receiver
+// source text) whose release is inevitable — executed on *every* path
+// from that point to function exit. A `defer x.Release()` anywhere in
+// the function releases at every return, so its keys hold at exit.
+// Each acquire call site is then checked at the point where the resource
+// is actually held: for the guarded form
+//
+//	if err := x.Acquire(); err != nil { return err }
+//
+// the failure branch holds nothing (returning without release there is
+// correct), so the fact is read at the entry of the success branch;
+// unguarded acquires are checked immediately after the call.
+//
+// An acquire whose release intentionally transfers to another owner
+// (e.g. stored in a registry the janitor releases from) is exactly what
+// `//pplint:ignore pairedrelease <reason>` is for — the reason documents
+// the new owner.
+var PairedreleaseAnalyzer = &Analyzer{
+	Name: "pairedrelease",
+	Doc:  "every acquire of a tracked resource (shed slot, pipeline reservation, tracked request state) must reach its paired release on all return paths",
+	Run:  runPairedrelease,
+}
+
+// releasePairs maps an acquire method name to the method names that
+// release it (any one suffices). Matching is by method name plus
+// receiver source text, so s.shed.Acquire pairs with s.shed.Release but
+// not with t.shed.Release.
+var releasePairs = map[string][]string{
+	"Acquire": {"Release"},
+	"Reserve": {"SubmitReserved", "CancelReserve"},
+	"Track":   {"Forget"},
+}
+
+func runPairedrelease(pass *Pass) error {
+	if !concurrencyCriticalPackages[pkgBase(pass.Pkg.Path)] {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, u := range funcUnits(file) {
+			pairedreleaseFunc(pass, u)
+		}
+	}
+	return nil
+}
+
+// resourceKey identifies one tracked resource instance within a
+// function: "recv.Acquire" style, built from the acquire method name and
+// the receiver's source text.
+func resourceKey(recv ast.Expr, acquireName string) string {
+	return exprString(recv) + "." + acquireName
+}
+
+// acquireSite is one tracked acquire call in a function body.
+type acquireSite struct {
+	call *ast.CallExpr
+	name string // acquire method name
+	key  string
+}
+
+// releaseSet is the must-release fact: resource keys whose release is
+// inevitable from this point on.
+type releaseSet map[string]bool
+
+func releaseSetEqual(a, b releaseSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseSetMeet intersects (must-analysis: inevitable on every path).
+func releaseSetMeet(a, b releaseSet) releaseSet {
+	m := releaseSet{}
+	for k := range a {
+		if b[k] {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+func pairedreleaseFunc(pass *Pass, u funcUnit) {
+	cfg := BuildCFG(u.body)
+	if cfg == nil {
+		return
+	}
+	// Collect the acquire sites; nothing to do without one.
+	var sites []acquireSite
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(u.lit) {
+			return false // literals are their own funcUnits
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv := trackedAcquire(call)
+		if name == "" {
+			return true
+		}
+		sites = append(sites, acquireSite{call: call, name: name, key: resourceKey(recv, name)})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// Releases registered via defer hold at every exit. Defer bodies are
+	// scanned in full (including function literals: `defer func() {
+	// x.Release() }()` is the idiomatic conditional-release wrapper).
+	exitFact := releaseSet{}
+	for _, d := range cfg.Defers {
+		for k := range releasesIn(d, true) {
+			exitFact[k] = true
+		}
+	}
+
+	transfer := func(b *Block, after releaseSet) releaseSet {
+		// Backward: walk the block's nodes in reverse; a release makes the
+		// key inevitable before it.
+		out := after
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			if rel := releasesIn(b.Nodes[i], false); len(rel) > 0 {
+				grown := releaseSet{}
+				for k := range out {
+					grown[k] = true
+				}
+				for k := range rel {
+					grown[k] = true
+				}
+				out = grown
+			}
+		}
+		return out
+	}
+	res := SolveBackward(cfg, exitFact, transfer, releaseSetMeet, releaseSetEqual)
+	guards := ErrGuards(cfg, nil)
+	guardByCall := map[*ast.CallExpr]*ErrGuard{}
+	for _, g := range guards {
+		guardByCall[g.Call] = g
+	}
+
+	for _, site := range sites {
+		releases := releasePairs[site.name]
+		if g := guardByCall[site.call]; g != nil && g.Nil != nil {
+			// Guarded acquire: the resource is held only on the success
+			// branch; judge inevitability at that branch's entry.
+			if fact, ok := res.Out[g.Nil]; ok && !fact[site.key] {
+				reportUnreleased(pass, site, releases)
+			}
+			continue
+		}
+		// Unguarded: judge right after the acquire call, by replaying the
+		// containing block backward from its exit fact down to the call.
+		blk, idx := findNode(cfg, site.call)
+		if blk == nil {
+			continue
+		}
+		fact, ok := res.In[blk]
+		if !ok {
+			continue // unreachable code
+		}
+		for i := len(blk.Nodes) - 1; i > idx; i-- {
+			if rel := releasesIn(blk.Nodes[i], false); len(rel) > 0 {
+				grown := releaseSet{}
+				for k := range fact {
+					grown[k] = true
+				}
+				for k := range rel {
+					grown[k] = true
+				}
+				fact = grown
+			}
+		}
+		if !fact[site.key] {
+			reportUnreleased(pass, site, releases)
+		}
+	}
+}
+
+func reportUnreleased(pass *Pass, site acquireSite, releases []string) {
+	pass.Reportf(site.call.Pos(), "%s is not matched by a paired release (%s) on every return path: a leaked slot permanently shrinks capacity and leaked per-request state accretes forever (the PR 3 Forget / PR 7 shed-slot bug class); release on all paths, defer it, or document the ownership transfer with an ignore directive", site.key, strings.Join(releases, "/"))
+}
+
+// trackedAcquire classifies a call as a tracked acquire, returning the
+// method name and receiver.
+func trackedAcquire(call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	if _, tracked := releasePairs[sel.Sel.Name]; !tracked {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+// releasesIn collects the release events under one CFG node, normalized
+// to the acquire-side key ("recv.Acquire") so that alternative releases
+// of the same resource (SubmitReserved on one branch, CancelReserve on
+// the other) survive the must-meet. With deep=true nested function
+// literals are scanned too (defer wrappers); otherwise InspectNode's
+// literal-skipping walk applies.
+func releasesIn(n ast.Node, deep bool) releaseSet {
+	out := releaseSet{}
+	visit := func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, acq := range acquiresForRelease(sel.Sel.Name) {
+			out[exprString(sel.X)+"."+acq] = true
+		}
+		return true
+	}
+	if deep {
+		ast.Inspect(n, visit)
+	} else {
+		InspectNode(n, visit)
+	}
+	return out
+}
+
+// acquiresForRelease lists the acquire method names a release method
+// name pairs with.
+func acquiresForRelease(name string) []string {
+	var acqs []string
+	for acq, rels := range releasePairs {
+		for _, r := range rels {
+			if r == name {
+				acqs = append(acqs, acq)
+			}
+		}
+	}
+	return acqs
+}
+
+// findNode locates the block and node index carrying n.
+func findNode(cfg *CFG, n ast.Node) (*Block, int) {
+	for _, b := range cfg.Blocks {
+		for i, bn := range b.Nodes {
+			found := false
+			InspectNode(bn, func(c ast.Node) bool {
+				if c == n {
+					found = true
+					return false
+				}
+				return !found
+			})
+			if found {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}

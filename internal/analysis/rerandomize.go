@@ -18,7 +18,10 @@ import (
 // (or a package function it calls) performs homomorphic arithmetic, and a
 // return path is "blinded" if a blinding call (freshBlinding / Blinding /
 // Encrypt* / Rerandomize*) is definitely executed before it, or the
-// returned expression itself comes from an always-blinding function.
+// returned expression itself comes from an always-blinding function. The
+// per-path question is answered by a forward must-analysis over the
+// shared CFG (cfg.go / dataflow.go): the blinded fact meets with AND at
+// joins, so only blinding that dominates a return counts.
 //
 // Allowlisted: the low-level homomorphic primitives Add, AddPlain,
 // MulScalar, and MulScalarInt64 (Eq. 1/2 building blocks whose contract
@@ -113,9 +116,7 @@ func runRerandomize(pass *Pass) error {
 		if blindingNames[name] || homomorphicPrimitives[name] || strings.HasSuffix(name, "Ref") {
 			continue
 		}
-		w := r.newWalker()
-		w.walkStmts(fd.Body.List, false)
-		for _, bad := range w.violations {
+		for _, bad := range r.blindViolations(fd.Body) {
 			r.pass.Reportf(bad.Pos(), "exported %s returns a homomorphically-derived ciphertext without re-randomization on this path: multiply in a fresh r^n blinding factor before the ciphertext leaves the model provider (paper §III-B)", name)
 		}
 	}
@@ -193,9 +194,7 @@ func (r *rerandomizer) computeAlwaysBlinds() {
 			if r.alwaysBlinds[obj] || !r.returnsCiphertext(obj) {
 				continue
 			}
-			w := r.newWalker()
-			w.walkStmts(fd.Body.List, false)
-			if len(w.violations) == 0 {
+			if len(r.blindViolations(fd.Body)) == 0 {
 				r.alwaysBlinds[obj] = true
 				changed = true
 			}
@@ -261,16 +260,28 @@ func (r *rerandomizer) isBlindingCall(call *ast.CallExpr) bool {
 }
 
 // containsBlinding reports whether any call under n is a blinding call.
+// The walk is scoped to one CFG node — a range header contributes only
+// its ranged operand (the body lives in successor blocks) and a select
+// dispatch contributes nothing — but it does descend into function
+// literals: a closure argument (the parallelFor worker in EncryptTensor)
+// executes within the call it is passed to, so its blinding blinds the
+// path, exactly as the pre-CFG tree walker treated it.
 func (r *rerandomizer) containsBlinding(n ast.Node) bool {
 	if n == nil {
 		return false
 	}
+	switch nn := n.(type) {
+	case *ast.RangeStmt:
+		return r.containsBlinding(nn.X)
+	case *ast.SelectStmt:
+		return false
+	}
 	found := false
-	ast.Inspect(n, func(n ast.Node) bool {
+	ast.Inspect(n, func(c ast.Node) bool {
 		if found {
 			return false
 		}
-		if call, ok := n.(*ast.CallExpr); ok && r.isBlindingCall(call) {
+		if call, ok := c.(*ast.CallExpr); ok && r.isBlindingCall(call) {
 			found = true
 			return false
 		}
@@ -279,137 +290,120 @@ func (r *rerandomizer) containsBlinding(n ast.Node) bool {
 	return found
 }
 
-// blindWalker is the per-function "definitely blinded before return"
-// analysis: an abstract state (has a blinding call definitely executed?)
-// flows through the statement tree; branches merge with AND, loop bodies
-// do not leak state out. Returns of non-nil ciphertexts in unblinded
-// state are violations.
-type blindWalker struct {
-	r       *rerandomizer
-	tainted map[types.Object]bool // idents holding blinded ciphertexts
+// blindFlow is the per-function "definitely blinded before return"
+// analysis, phrased as a forward must-analysis over the shared CFG: the
+// fact is a single boolean (has a blinding call definitely executed?),
+// seeded false at entry, meeting with AND at joins. Loop back-edges
+// therefore cannot leak body-only blinding past the loop (the
+// zero-iteration path wins the meet), and blinding inside only one arm
+// of a branch does not survive the join — exactly the old tree-walker
+// semantics, now derived from real control-flow edges.
+type blindFlow struct {
+	r *rerandomizer
+	// tainted holds idents bound to blinded ciphertexts, computed by a
+	// flow-insensitive fixpoint over the body's assignments before the
+	// path analysis runs.
+	tainted map[types.Object]bool
 	// violations are the returned expressions (or return statements) that
 	// may carry an unblinded derived ciphertext.
 	violations []ast.Node
 }
 
-func (r *rerandomizer) newWalker() *blindWalker {
-	return &blindWalker{r: r, tainted: map[types.Object]bool{}}
-}
-
-// walkStmts flows the blinded state through a statement list and returns
-// the state after it.
-func (w *blindWalker) walkStmts(stmts []ast.Stmt, blinded bool) bool {
-	for _, s := range stmts {
-		blinded = w.walkStmt(s, blinded)
+// blindViolations runs the must-blinded analysis over one function body
+// and returns the unblinded-return nodes.
+func (r *rerandomizer) blindViolations(body *ast.BlockStmt) []ast.Node {
+	cfg := BuildCFG(body)
+	if cfg == nil {
+		return nil
 	}
-	return blinded
+	f := &blindFlow{r: r, tainted: map[types.Object]bool{}}
+	f.computeTaint(body)
+
+	res := SolveForward(cfg, false,
+		func(b *Block, in bool) bool {
+			for _, n := range b.Nodes {
+				in = f.transfer(n, in)
+			}
+			return in
+		},
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a == b },
+	)
+	// Replay each reachable block from its entry fact to check the return
+	// statements with the state holding exactly there.
+	for _, b := range cfg.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				f.checkReturn(ret, in)
+			}
+			in = f.transfer(n, in)
+		}
+	}
+	return f.violations
 }
 
-func (w *blindWalker) walkStmt(s ast.Stmt, blinded bool) bool {
-	switch st := s.(type) {
+// transfer applies one CFG node to the blinded fact.
+func (f *blindFlow) transfer(n ast.Node, blinded bool) bool {
+	switch n.(type) {
 	case *ast.ReturnStmt:
-		w.checkReturn(st, blinded)
-		return blinded
-	case *ast.BlockStmt:
-		return w.walkStmts(st.List, blinded)
-	case *ast.LabeledStmt:
-		return w.walkStmt(st.Stmt, blinded)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			blinded = w.walkStmt(st.Init, blinded)
-		}
-		if w.r.containsBlinding(st.Cond) {
-			blinded = true
-		}
-		thenState := w.walkStmts(st.Body.List, blinded)
-		elseState := blinded
-		if st.Else != nil {
-			elseState = w.walkStmt(st.Else, blinded)
-		}
-		return thenState && elseState
-	case *ast.ForStmt:
-		if st.Init != nil {
-			blinded = w.walkStmt(st.Init, blinded)
-		}
-		w.walkStmts(st.Body.List, blinded)
-		return blinded // body may run zero times
-	case *ast.RangeStmt:
-		w.walkStmts(st.Body.List, blinded)
-		return blinded
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			blinded = w.walkStmt(st.Init, blinded)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, blinded)
-			}
-		}
-		return blinded
-	case *ast.TypeSwitchStmt:
-		if st.Init != nil {
-			blinded = w.walkStmt(st.Init, blinded)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.walkStmts(cc.Body, blinded)
-			}
-		}
-		return blinded
-	case *ast.SelectStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				w.walkStmts(cc.Body, blinded)
-			}
-		}
-		return blinded
-	case *ast.AssignStmt:
-		w.recordTaint(st)
-		if w.r.containsBlinding(st) {
-			return true
-		}
+		// Checked separately; evaluating the results does not blind.
 		return blinded
 	case *ast.DeferStmt, *ast.GoStmt:
 		// Deferred/concurrent blinding cannot blind the value a return
 		// statement has already evaluated: no state change.
 		return blinded
-	default:
-		if w.r.containsBlinding(s) {
-			return true
-		}
-		return blinded
 	}
+	if f.r.containsBlinding(n) {
+		return true
+	}
+	return blinded
 }
 
-// recordTaint marks idents assigned from blinding calls (or from already
-// tainted idents) as holding blinded ciphertexts; assignment into an
-// element of a composite (out[i] = ct) propagates to the root ident.
-func (w *blindWalker) recordTaint(st *ast.AssignStmt) {
-	blindedRHS := len(st.Rhs) == 1 && w.rhsBlinded(st.Rhs[0])
-	if !blindedRHS {
-		return
-	}
-	for _, lhs := range st.Lhs {
-		if root := rootIdent(lhs); root != nil {
-			if obj := w.identObj(root); obj != nil {
-				w.tainted[obj] = true
+// computeTaint marks idents assigned from blinding calls (or from
+// already-tainted idents, or appends of tainted values) as holding
+// blinded ciphertexts, iterated to a fixpoint so chains of assignments
+// converge regardless of source order. Assignment into an element of a
+// composite (out[i] = ct) propagates to the root ident.
+func (f *blindFlow) computeTaint(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
 			}
-		}
+			if len(st.Rhs) != 1 || !f.rhsBlinded(st.Rhs[0]) {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if root := rootIdent(lhs); root != nil {
+					if obj := f.identObj(root); obj != nil && !f.tainted[obj] {
+						f.tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
 	}
 }
 
-func (w *blindWalker) rhsBlinded(e ast.Expr) bool {
+func (f *blindFlow) rhsBlinded(e ast.Expr) bool {
 	switch ex := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
-		if w.r.isBlindingCall(ex) {
+		if f.r.isBlindingCall(ex) {
 			return true
 		}
 		// append(xs, ct, ...) propagates taint: accumulating blinded
 		// ciphertexts into a slice keeps the slice blinded.
 		if id, ok := ast.Unparen(ex.Fun).(*ast.Ident); ok && id.Name == "append" {
-			if _, isBuiltin := w.identObj(id).(*types.Builtin); isBuiltin {
+			if _, isBuiltin := f.identObj(id).(*types.Builtin); isBuiltin {
 				for _, arg := range ex.Args {
-					if w.exprBlinded(arg) {
+					if f.exprBlinded(arg) {
 						return true
 					}
 				}
@@ -417,14 +411,14 @@ func (w *blindWalker) rhsBlinded(e ast.Expr) bool {
 		}
 		return false
 	case *ast.Ident:
-		obj := w.identObj(ex)
-		return obj != nil && w.tainted[obj]
+		obj := f.identObj(ex)
+		return obj != nil && f.tainted[obj]
 	}
 	return false
 }
 
-func (w *blindWalker) identObj(id *ast.Ident) types.Object {
-	info := w.r.pass.Pkg.Info
+func (f *blindFlow) identObj(id *ast.Ident) types.Object {
+	info := f.r.pass.Pkg.Info
 	if obj := info.Defs[id]; obj != nil {
 		return obj
 	}
@@ -434,54 +428,54 @@ func (w *blindWalker) identObj(id *ast.Ident) types.Object {
 // checkReturn validates one return statement: every returned expression
 // of ciphertext type must be nil, blinded by path state, or itself the
 // result of a blinding call / tainted ident.
-func (w *blindWalker) checkReturn(ret *ast.ReturnStmt, blinded bool) {
+func (f *blindFlow) checkReturn(ret *ast.ReturnStmt, blinded bool) {
 	if blinded {
 		return
 	}
 	if len(ret.Results) == 0 {
 		// Naked return with named ciphertext results in unblinded state.
-		w.violations = append(w.violations, ret)
+		f.violations = append(f.violations, ret)
 		return
 	}
-	info := w.r.pass.Pkg.Info
+	info := f.r.pass.Pkg.Info
 	for _, e := range ret.Results {
 		tv, ok := info.Types[e]
-		if !ok || !w.r.typeHasCiphertext(tv.Type, 0) {
+		if !ok || !f.r.typeHasCiphertext(tv.Type, 0) {
 			continue
 		}
-		if tv.IsNil() || w.exprBlinded(e) {
+		if tv.IsNil() || f.exprBlinded(e) {
 			continue
 		}
-		w.violations = append(w.violations, e)
+		f.violations = append(f.violations, e)
 	}
 }
 
-func (w *blindWalker) exprBlinded(e ast.Expr) bool {
+func (f *blindFlow) exprBlinded(e ast.Expr) bool {
 	switch ex := ast.Unparen(e).(type) {
 	case *ast.CallExpr:
-		return w.r.isBlindingCall(ex)
+		return f.r.isBlindingCall(ex)
 	case *ast.Ident:
-		obj := w.identObj(ex)
-		return obj != nil && w.tainted[obj]
+		obj := f.identObj(ex)
+		return obj != nil && f.tainted[obj]
 	case *ast.UnaryExpr:
 		// &Ciphertext{c: x} with x tainted.
 		if cl, ok := ex.X.(*ast.CompositeLit); ok {
-			return w.compositeBlinded(cl)
+			return f.compositeBlinded(cl)
 		}
 	case *ast.CompositeLit:
-		return w.compositeBlinded(ex)
+		return f.compositeBlinded(ex)
 	}
 	return false
 }
 
-func (w *blindWalker) compositeBlinded(cl *ast.CompositeLit) bool {
+func (f *blindFlow) compositeBlinded(cl *ast.CompositeLit) bool {
 	for _, elt := range cl.Elts {
 		v := elt
 		if kv, ok := elt.(*ast.KeyValueExpr); ok {
 			v = kv.Value
 		}
 		if id, ok := ast.Unparen(v).(*ast.Ident); ok {
-			if obj := w.identObj(id); obj != nil && w.tainted[obj] {
+			if obj := f.identObj(id); obj != nil && f.tainted[obj] {
 				return true
 			}
 		}

@@ -1,0 +1,45 @@
+// Package obs is the atomicfield fixture: a struct field accessed
+// through sync/atomic anywhere must be accessed atomically everywhere.
+// The mixed counter reproduces the windowed-metrics hazard: one relaxed
+// read beside atomic writers is a data race the race detector only sees
+// when the schedules collide.
+package obs
+
+import "sync/atomic"
+
+type counter struct {
+	// n is written atomically by the hot path but read plainly below.
+	n int64
+	// hits is used atomically everywhere: no diagnostics.
+	hits int64
+	// plainOnly is never touched by sync/atomic: plain access is fine.
+	plainOnly int64
+}
+
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) Read() int64 {
+	return c.n // want "non-atomic access of field obs.n"
+}
+
+func (c *counter) Reset() {
+	c.n = 0 // want "non-atomic access of field obs.n"
+}
+
+func (c *counter) Hits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) Plain() int64 {
+	c.plainOnly++
+	return c.plainOnly
+}
+
+// NewCounter's composite literal is initialization before the value is
+// shared: field keys are not accesses.
+func NewCounter() *counter {
+	return &counter{n: 0, hits: 0}
+}

@@ -1,0 +1,68 @@
+// Package protocol is the ctxdeadline fixture: ctx-taking request-path
+// functions must thread their context into every blocking call that
+// accepts one. Detaching with context.Background/TODO or parking in
+// time.Sleep silently breaks the DeadlineMS contract the client
+// negotiated.
+package protocol
+
+import (
+	"context"
+	"time"
+)
+
+type client struct{}
+
+func (c *client) send(ctx context.Context, v int) error { return ctx.Err() }
+func (c *client) recv(ctx context.Context) (int, error) { return 0, ctx.Err() }
+
+// BadDetach drops the caller's deadline on the floor.
+func (c *client) BadDetach(ctx context.Context, v int) error {
+	return c.send(context.Background(), v) // want "passes context.Background"
+}
+
+// BadTODO is the same hole spelled TODO.
+func (c *client) BadTODO(ctx context.Context) (int, error) {
+	return c.recv(context.TODO()) // want "passes context.TODO"
+}
+
+// BadSleep parks unconditionally: a canceled request still pays the
+// full sleep.
+func (c *client) BadSleep(ctx context.Context, v int) error {
+	time.Sleep(10 * time.Millisecond) // want "calls time.Sleep"
+	return c.send(ctx, v)
+}
+
+// GoodThreaded passes ctx through, including derived contexts.
+func (c *client) GoodThreaded(ctx context.Context, v int) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if err := c.send(tctx, v); err != nil {
+		return err
+	}
+	_, err := c.recv(ctx)
+	return err
+}
+
+// GoodTimer waits with a cancelable select instead of sleeping.
+func (c *client) GoodTimer(ctx context.Context) error {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// NoCtx has no context parameter: background maintenance may sleep.
+func (c *client) NoCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+// IgnoredWarmup documents an intentional detach: cache warmup outlives
+// any single request by design.
+func (c *client) IgnoredWarmup(ctx context.Context, v int) error {
+	//pplint:ignore ctxdeadline warmup is shared across requests and must outlive any one deadline
+	return c.send(context.Background(), v)
+}

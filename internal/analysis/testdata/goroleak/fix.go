@@ -1,0 +1,153 @@
+// Package stream is the goroleak fixture: every `go` statement in
+// long-lived packages needs a shutdown edge. BadReader reproduces the
+// pre-PR 7 dispatcher bug — a reader goroutine whose only exit was the
+// results channel closing, which a failed pipeline never did, leaving
+// Submit blocked on the window and Close blocked on Submit.
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+type message struct{ seq uint64 }
+
+type pump struct {
+	results chan message
+	work    chan int
+	down    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func deliver(m message) {}
+
+// BadReader loops on a bare receive with no done edge: when the producer
+// dies without closing results, the goroutine is stranded forever.
+func (p *pump) BadReader() {
+	go func() { // want "no shutdown edge"
+		for {
+			m := <-p.results
+			deliver(m)
+		}
+	}()
+}
+
+// GoodReaderDown is the PR 7 fix shape: every blocking point also
+// selects on the down channel.
+func (p *pump) GoodReaderDown() {
+	go func() {
+		for {
+			select {
+			case m := <-p.results:
+				deliver(m)
+			case <-p.down:
+				return
+			}
+		}
+	}()
+}
+
+// GoodReaderCtx exits when the context is canceled.
+func (p *pump) GoodReaderCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case m := <-p.results:
+				deliver(m)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// GoodReaderRange terminates when the producer closes the channel.
+func (p *pump) GoodReaderRange() {
+	go func() {
+		for m := range p.results {
+			deliver(m)
+		}
+	}()
+}
+
+// GoodReaderCommaOk exits on the closed-channel sentinel.
+func (p *pump) GoodReaderCommaOk() {
+	go func() {
+		for {
+			m, ok := <-p.results
+			if !ok {
+				return
+			}
+			deliver(m)
+		}
+	}()
+}
+
+// GoodWaitGroup registers with the WaitGroup some Close waits on.
+func (p *pump) GoodWaitGroup() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for i := 0; i < 16; i++ {
+			p.work <- i
+		}
+	}()
+}
+
+// BadSender pushes forever with no exit.
+func (p *pump) BadSender() {
+	go func() { // want "no shutdown edge"
+		for {
+			p.work <- 1
+		}
+	}()
+}
+
+// GoodCtxArg hands the goroutine a context: the callee's ctx handling
+// is checked where readLoop is defined.
+func (p *pump) GoodCtxArg(ctx context.Context) {
+	go p.readLoop(ctx)
+}
+
+func (p *pump) readLoop(ctx context.Context) {
+	for {
+		select {
+		case m := <-p.results:
+			deliver(m)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// BadNamedLoop spins a same-package function with an unbounded loop and
+// no shutdown edge: flagged at the go statement.
+func (p *pump) BadNamedLoop() {
+	go p.spin() // want "no shutdown edge"
+}
+
+func (p *pump) spin() {
+	for {
+		p.work <- 1
+	}
+}
+
+// GoodOneShot has no loop: it terminates on its own (the bounded-send
+// accept-goroutine shape).
+func (p *pump) GoodOneShot() {
+	ch := make(chan message, 1)
+	go func() {
+		ch <- message{seq: 1}
+	}()
+	<-ch
+}
+
+// IgnoredSupervised documents an intentional detached loop.
+func (p *pump) IgnoredSupervised() {
+	//pplint:ignore goroleak supervised by the process watchdog; restarts are the shutdown story
+	go func() {
+		for {
+			p.work <- 1
+		}
+	}()
+}

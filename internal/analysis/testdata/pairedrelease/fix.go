@@ -1,0 +1,161 @@
+// Package protocol is the pairedrelease fixture: every tracked acquire
+// (shed slot, pipeline reservation, tracked request state) must reach
+// its paired release on all return paths. LeakOnComplete reproduces the
+// PR 3 permutation-state leak (Forget never reached on the completion
+// path) and EvictWithoutRelease the PR 7 shed-slot-at-eviction bug.
+package protocol
+
+import (
+	"context"
+	"errors"
+)
+
+type shedder struct{ n int }
+
+func (s *shedder) Acquire() error { return nil }
+func (s *shedder) Release()       { s.n-- }
+
+type model struct{ live map[uint64]int }
+
+func (m *model) Track(seq uint64)  { m.live[seq] = 1 }
+func (m *model) Forget(seq uint64) { delete(m.live, seq) }
+
+type pipe struct{ seq uint64 }
+
+func (p *pipe) Reserve() uint64 { p.seq++; return p.seq }
+func (p *pipe) SubmitReserved(ctx context.Context, seq uint64, v any) error {
+	return nil
+}
+func (p *pipe) CancelReserve(seq uint64) {}
+
+type server struct {
+	shed  *shedder
+	model *model
+	p     *pipe
+}
+
+var errEvict = errors.New("evicted")
+
+// LeakOnComplete is the PR 3 bug shape: per-request obfuscation state is
+// tracked, the error path forgets it, but the completion path returns
+// with the state still live — leaking one permutation per successful
+// request.
+func (s *server) LeakOnComplete(seq uint64, fail bool) error {
+	s.model.Track(seq) // want "s.model.Track is not matched by a paired release"
+	if fail {
+		s.model.Forget(seq)
+		return errEvict
+	}
+	return nil
+}
+
+// GoodComplete forgets on both paths.
+func (s *server) GoodComplete(seq uint64, fail bool) error {
+	s.model.Track(seq)
+	if fail {
+		s.model.Forget(seq)
+		return errEvict
+	}
+	s.model.Forget(seq)
+	return nil
+}
+
+// GoodDeferForget releases via defer, covering every return.
+func (s *server) GoodDeferForget(seq uint64, fail bool) error {
+	s.model.Track(seq)
+	defer s.model.Forget(seq)
+	if fail {
+		return errEvict
+	}
+	return nil
+}
+
+// EvictWithoutRelease is the PR 7 shed-slot bug shape: the eviction
+// branch drops the request state and returns without releasing the shed
+// slot it holds, permanently shrinking admission capacity.
+func (s *server) EvictWithoutRelease(evict bool) error {
+	if err := s.shed.Acquire(); err != nil { // want "s.shed.Acquire is not matched by a paired release"
+		return err
+	}
+	if evict {
+		return errEvict // leaks the slot
+	}
+	s.shed.Release()
+	return nil
+}
+
+// GoodGuardedAcquire releases on every success-path return; the guarded
+// error return without a release is correct (nothing was acquired) and
+// must not be flagged.
+func (s *server) GoodGuardedAcquire(evict bool) error {
+	if err := s.shed.Acquire(); err != nil {
+		return err
+	}
+	if evict {
+		s.shed.Release()
+		return errEvict
+	}
+	s.shed.Release()
+	return nil
+}
+
+// GoodDeferRelease is the canonical engine-Submit shape.
+func (s *server) GoodDeferRelease(ctx context.Context) error {
+	if err := s.shed.Acquire(); err != nil {
+		return err
+	}
+	defer s.shed.Release()
+	return ctx.Err()
+}
+
+// GoodDeferClosureRelease releases inside a deferred closure (the
+// conditional-release wrapper idiom).
+func (s *server) GoodDeferClosureRelease(fail bool) error {
+	if err := s.shed.Acquire(); err != nil {
+		return err
+	}
+	done := false
+	defer func() {
+		if !done {
+			s.shed.Release()
+		}
+	}()
+	if fail {
+		return errEvict
+	}
+	done = true
+	s.shed.Release()
+	return nil
+}
+
+// DroppedReservation reserves a pipeline sequence but returns early on
+// the backpressure branch without submitting or canceling: the sequence
+// is torn from the delivery order and its completion slot never fires.
+func (s *server) DroppedReservation(ctx context.Context, v any, full bool) error {
+	seq := s.p.Reserve() // want "s.p.Reserve is not matched by a paired release"
+	if full {
+		return errEvict
+	}
+	return s.p.SubmitReserved(ctx, seq, v)
+}
+
+// GoodReservation cancels on the abandon branch.
+func (s *server) GoodReservation(ctx context.Context, v any, full bool) error {
+	seq := s.p.Reserve()
+	if full {
+		s.p.CancelReserve(seq)
+		return errEvict
+	}
+	return s.p.SubmitReserved(ctx, seq, v)
+}
+
+// IgnoredOwnershipTransfer hands the slot to a registry another
+// goroutine releases from — the documented escape hatch.
+func (s *server) IgnoredOwnershipTransfer(seq uint64) error {
+	//pplint:ignore pairedrelease slot ownership transfers to the live map; the janitor releases it at drop/expire
+	if err := s.shed.Acquire(); err != nil {
+		return err
+	}
+	s.model.Track(seq) // want "s.model.Track is not matched by a paired release"
+	return nil
+}

@@ -235,6 +235,7 @@ func (s *sessionReqs) admit(req uint64, round int, arrived time.Time, deadline t
 		if round > 0 {
 			return admitStale, nil
 		}
+		//pplint:ignore pairedrelease the slot's ownership transfers to s.live[req] (shedHeld) on the success path; release happens at drop/expire/releaseAll when the entry leaves the live map, not in this frame
 		if err := s.shed.Acquire(); err != nil {
 			return admitShed, err
 		}
